@@ -1,0 +1,174 @@
+// Command ragnar regenerates the paper's tables and figures by id.
+//
+// Usage:
+//
+//	ragnar [-nic cx4|cx5|cx6] [-full] [-seed N] <experiment> [...]
+//
+// Experiments: table1 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+// table5 pythia fig12 fig13 defense all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/thu-has/ragnar/internal/experiments"
+	"github.com/thu-has/ragnar/internal/nic"
+)
+
+func main() {
+	nicName := flag.String("nic", "cx4", "adapter for single-NIC experiments (cx4, cx5, cx6)")
+	full := flag.Bool("full", false, "run paper-scale parameter spaces (slower)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	perClass := flag.Int("perclass", 12, "fig13 traces per class (paper: ~395)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
+	flag.Parse()
+	emitJSON = *jsonOut
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|pythia|fig12|fig13|defense|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	prof, ok := nic.ProfileByName(*nicName)
+	if !ok {
+		fatalf("unknown NIC %q", *nicName)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "fig8",
+			"fig9", "fig10", "fig11", "table5", "pythia", "fig12", "fig13", "defense"}
+	}
+	for _, exp := range args {
+		if err := run(exp, prof, *full, *seed, *perClass); err != nil {
+			fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+// emitJSON switches output to JSON (set by the -json flag).
+var emitJSON bool
+
+// emit prints a result either rendered or as JSON.
+func emit(result any, render func() string) error {
+	if !emitJSON {
+		fmt.Print(render())
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(result)
+}
+
+func run(exp string, prof nic.Profile, full bool, seed int64, perClass int) error {
+	probes := 200
+	if full {
+		probes = 600
+	}
+	switch exp {
+	case "table1":
+		rows := experiments.Table1()
+		return emit(rows, func() string { return experiments.RenderTable1(rows) })
+	case "table2", "table3":
+		fmt.Print(experiments.RenderTable3())
+	case "fig4":
+		for _, p := range pick(prof, full) {
+			r := experiments.Fig4(p, full)
+			if err := emit(r, r.Render); err != nil {
+				return err
+			}
+		}
+	case "fig5":
+		r, err := experiments.Fig5(prof, probes, seed)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	case "fig6":
+		r, err := experiments.Fig6(prof, probes, seed)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	case "fig7":
+		r, err := experiments.Fig7(prof, probes, seed)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	case "fig8":
+		r, err := experiments.Fig8(prof, probes, seed)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	case "fig9":
+		r := experiments.Fig9(seed)
+		return emit(r, r.Render)
+	case "fig10":
+		r, err := experiments.Fig10(seed)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	case "fig11":
+		r, err := experiments.Fig11(seed)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	case "table5":
+		bits := 128
+		if full {
+			bits = 1024
+		}
+		r, err := experiments.Table5(bits, seed)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	case "pythia":
+		r, err := experiments.PythiaCompare(64, seed)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	case "fig12":
+		r := experiments.Fig12(prof, seed)
+		return emit(r, r.Render)
+	case "fig13":
+		if full {
+			perClass = 395 // the paper's 6720-trace corpus
+		}
+		r, err := experiments.Fig13(prof, perClass, seed)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	case "defense":
+		r, err := experiments.DefenseEval(prof, seed)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	default:
+		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 pythia defense)")
+	}
+	return nil
+}
+
+// pick returns all NICs in full mode, else just the selected one.
+func pick(prof nic.Profile, full bool) []nic.Profile {
+	if full {
+		return nic.Profiles
+	}
+	return []nic.Profile{prof}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ragnar: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command snoop runs the Section VI side-channel attacks end to end:
+// fingerprinting database operations and recovering a victim's access
+// address on disaggregated memory.
+//
+// Usage examples:
+//
+//	snoop -nic cx5 fingerprint
+//	snoop -nic cx4 address -victim 320
+//	snoop -nic cx4 classify -perclass 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/thu-has/ragnar/internal/classifier"
+	"github.com/thu-has/ragnar/internal/experiments"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sidechan"
+	"github.com/thu-has/ragnar/internal/stats"
+)
+
+func main() {
+	nicName := flag.String("nic", "cx4", "adapter (cx4, cx5, cx6)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+	prof, ok := nic.ProfileByName(*nicName)
+	if !ok {
+		fatalf("unknown NIC %q", *nicName)
+	}
+	if flag.NArg() == 0 {
+		fatalf("usage: snoop [flags] <fingerprint|address|classify>")
+	}
+	cmd, rest := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "fingerprint":
+		fmt.Print(experiments.Fig12(prof, *seed).Render())
+	case "address":
+		err = address(prof, rest, *seed)
+	case "classify":
+		err = classify(prof, rest, *seed)
+	default:
+		err = fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// address captures a single trace and guesses the victim's offset by
+// matching the elevated TPU bank.
+func address(prof nic.Profile, args []string, seed int64) error {
+	fs := flag.NewFlagSet("address", flag.ExitOnError)
+	victim := fs.Uint64("victim", 320, "victim's secret offset (one of the 17 candidates)")
+	probes := fs.Int("probes", 8, "ULI probes per observation offset")
+	fs.Parse(args)
+
+	cfg := sidechan.DefaultSnoopConfig(prof)
+	cfg.Seed = seed
+	cfg.ProbesPerOffset = *probes
+	s, err := sidechan.NewSnooper(cfg)
+	if err != nil {
+		return err
+	}
+	// Calibrate against the attacker's own offset costs, then capture live.
+	baseline, err := s.CaptureBaseline()
+	if err != nil {
+		return err
+	}
+	live, err := s.CaptureTrace(*victim)
+	if err != nil {
+		return err
+	}
+	trace := sidechan.Subtract(live, baseline)
+	// Direct bank analysis: the candidate whose bank's observation offsets
+	// score highest wins (the classifier-free view of Figure 13a).
+	banks := uint64(prof.TPUBanks)
+	best, bestScore := uint64(0), -1e18
+	for _, cand := range cfg.Candidates {
+		var same []float64
+		for i, off := range cfg.Observation {
+			if (off/64)%banks == (cand/64)%banks {
+				same = append(same, trace[i])
+			}
+		}
+		if score := stats.Mean(same); score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	fmt.Printf("victim accessed offset %d; trace analysis recovers %d", *victim, best)
+	if (best/64)%banks == (*victim/64)%banks {
+		fmt.Printf("  (correct bank)\n")
+	} else {
+		fmt.Printf("  (WRONG)\n")
+	}
+	fmt.Println("trace (normalised ULI per observation offset):")
+	norm := stats.Normalize(trace)
+	for i := 0; i < len(norm); i += 8 {
+		fmt.Printf("%5d %s\n", cfg.Observation[i], bar(norm[i]))
+	}
+	return nil
+}
+
+func bar(v float64) string {
+	n := int(v * 50)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '*'
+	}
+	return string(out)
+}
+
+// classify runs the full dataset + classifier pipeline (Figure 13b).
+func classify(prof nic.Profile, args []string, seed int64) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	perClass := fs.Int("perclass", 12, "traces per candidate (paper: ~395)")
+	epochs := fs.Int("epochs", 30, "CNN training epochs")
+	fs.Parse(args)
+
+	cfg := sidechan.DefaultSnoopConfig(prof)
+	cfg.Seed = seed
+	cnnCfg := classifier.DefaultCNNConfig()
+	cnnCfg.Epochs = *epochs
+	cnnCfg.Seed = seed
+	rep, err := sidechan.RunSnoopAttack(cfg, *perClass, cnnCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d traces, %d classes\n", rep.Traces, rep.Classes)
+	fmt.Printf("nearest-centroid accuracy: %.1f%%\n", rep.CentroidAcc*100)
+	fmt.Printf("CNN accuracy:              %.1f%%  (paper: 95.6%%)\n", rep.CNNAcc*100)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "snoop: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Covert channel demo: exfiltrate an ASCII message between two clients that
+// can only read from the same RDMA server — no shared memory, no direct
+// connection. The sender encodes bits purely in *which address offset* it
+// reads (the Grain-IV intra-MR channel), so traffic counters show nothing
+// unusual.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/thu-has/ragnar"
+)
+
+func main() {
+	const secret = "RAGNAR: volatile channels are real"
+
+	for _, profile := range ragnar.Profiles {
+		ch, err := ragnar.NewIntraMRChannel(profile, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		payload := bitsOf(secret)
+		run, err := ch.Transmit(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", profile.Name)
+		fmt.Printf("channel:    %s (bits encoded purely in the sender's address offsets)\n",
+			run.Result.Channel)
+		fmt.Printf("bandwidth:  %.1f Kbps raw, %.1f Kbps effective, %.2f%% bit errors\n",
+			run.Result.BandwidthBps/1000, run.Result.EffectiveBps/1000, run.Result.ErrorRate*100)
+		fmt.Printf("sent:       %q\n", secret)
+		fmt.Printf("received:   %q\n\n", string(run.Decoded.ToBytes()))
+	}
+
+	// The priority channel trades all that bandwidth for robustness: writes
+	// of different sizes shift a monitor flow's bandwidth, 1 bit/second,
+	// error-free.
+	fmt.Println("=== priority channel (Grain I+II, Figure 9) ===")
+	pch := ragnar.NewPriorityChannel(ragnar.CX5)
+	bits, err := ragnar.ParseBits("1101111101010010")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prun := pch.Transmit(bits, 7)
+	fmt.Printf("sent %s, received %s (%.0f%% errors at %.1f bps)\n",
+		bits, prun.Decoded, prun.Result.ErrorRate*100, prun.Result.BandwidthBps)
+}
+
+func bitsOf(s string) ragnar.Bits {
+	var out ragnar.Bits
+	for _, b := range []byte(s) {
+		for i := 7; i >= 0; i-- {
+			out = append(out, (b>>uint(i))&1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+// Defense demo (Section VII): why counter-based isolation cannot see the
+// Grain-IV channel, and what jamming it with noise actually costs.
+//
+// The defender is a HARMONIC-style monitor on the server NIC: it learns the
+// per-window distribution of every Grain-I..III counter from benign traffic,
+// then flags windows that deviate. We run the inter-MR channel (whose sender
+// flips between memory regions — a Grain-III signal) and the intra-MR
+// channel (whose sender only varies its address offset — Grain-IV) against
+// it, then sweep the noise mitigation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/thu-has/ragnar"
+)
+
+// monitorChannel transmits bits over a channel while snapshotting the
+// server's counters into windows, returning the per-window deltas.
+func monitorChannel(ch *ragnar.ULIChannel, bits ragnar.Bits, windows int) ([]ragnar.Snapshot, error) {
+	eng := ch.Cluster.Eng
+	sampler := ragnar.NewSampler(eng, ch.Cluster.Server.NIC(),
+		ch.SymbolTime*ragnar.Duration(len(bits))/ragnar.Duration(windows), windows)
+	if _, err := ch.Transmit(bits); err != nil {
+		return nil, err
+	}
+	return sampler.Deltas(), nil
+}
+
+func evaluate(name string, mk func() (*ragnar.ULIChannel, error)) error {
+	// Train on the channel idling at a constant state (the tenant's benign
+	// look), then score a live transmission.
+	benignCh, err := mk()
+	if err != nil {
+		return err
+	}
+	benign, err := monitorChannel(benignCh, make(ragnar.Bits, 24), 24)
+	if err != nil {
+		return err
+	}
+	detector := ragnar.TrainHarmonic(benign)
+
+	liveCh, err := mk()
+	if err != nil {
+		return err
+	}
+	live, err := monitorChannel(liveCh, ragnar.RandomBits(3, 24), 24)
+	if err != nil {
+		return err
+	}
+	flagged := 0
+	for _, d := range live {
+		if detector.Detect(d) {
+			flagged++
+		}
+	}
+	verdict := "EVADES the counters"
+	if flagged > 1 {
+		verdict = "detected"
+	}
+	fmt.Printf("%-16s flagged in %2d/%2d windows -> %s\n", name, flagged, len(live), verdict)
+	return nil
+}
+
+func main() {
+	fmt.Println("HARMONIC-style counter monitor vs. the covert channels (CX-5):")
+	if err := evaluate("inter-MR (III)", func() (*ragnar.ULIChannel, error) {
+		return ragnar.NewInterMRChannel(ragnar.CX5, 1)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := evaluate("intra-MR (IV)", func() (*ragnar.ULIChannel, error) {
+		return ragnar.NewIntraMRChannel(ragnar.CX5, 1)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("Noise mitigation vs. the intra-MR channel:")
+	fmt.Printf("%-12s %12s %16s\n", "amplitude", "chan error", "mean ULI (cost)")
+	payload := ragnar.RandomBits(9, 48)
+	for _, amp := range []ragnar.Duration{0, 100 * ragnar.Nanosecond, 300 * ragnar.Nanosecond, 800 * ragnar.Nanosecond} {
+		ch, err := ragnar.NewIntraMRChannel(ragnar.CX5, 17)
+		if err != nil {
+			log.Fatal(err)
+		}
+		uninstall := ragnar.NoiseMitigation(ch.Cluster.Server.NIC(), amp, ch.Cluster.Eng.Rand())
+		run, err := ch.Transmit(payload)
+		uninstall()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var meanULI float64
+		for _, m := range run.SymbolMeans {
+			meanULI += m
+		}
+		meanULI /= float64(len(run.SymbolMeans))
+		fmt.Printf("%-12v %11.1f%% %13.0f ns\n", amp, run.Result.ErrorRate*100, meanULI)
+	}
+	fmt.Println()
+	fmt.Println("The offset channel is invisible to every Grain-I..III counter; only")
+	fmt.Println("service-time noise jams it, and that noise taxes every benign request.")
+}

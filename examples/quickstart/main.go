@@ -1,0 +1,78 @@
+// Quickstart: build the paper's topology, measure Unit Latency Increase,
+// and watch the Grain-IV offset effect appear — the observable every Ragnar
+// attack is built on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/thu-has/ragnar"
+)
+
+func main() {
+	// One server (H3-class) shared by two clients, ConnectX-5 everywhere.
+	cluster := ragnar.NewCluster(ragnar.DefaultClusterConfig(ragnar.CX5))
+
+	// The server exports a 2 MiB huge-page memory region, like a KV store.
+	mr, err := cluster.RegisterServerMR(2 << 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Client 0 connects with a send queue of 10 and warms the NIC caches.
+	conn, err := cluster.Dial(0, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Warm(conn, mr); err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure ULI while probing a few remote address offsets. Aligned
+	// offsets translate faster in the NIC's Translation & Protection Unit —
+	// the paper's Key Finding 4.
+	fmt.Println("ULI vs remote address offset (ConnectX-5, 64B reads, queue depth 8):")
+	for _, offset := range []uint64{0, 3, 8, 64, 65, 2048, 2051} {
+		prober := &ragnar.Prober{
+			QP: conn.QP, CQ: conn.CQ,
+			Remote:  mr.Describe(0),
+			MsgSize: 64,
+			Depth:   8,
+			NextOffset: func(i int) uint64 {
+				if i%2 == 0 {
+					return 0 // alternate with a fixed reference offset
+				}
+				return offset
+			},
+		}
+		samples, err := prober.Measure(cluster.Eng, 400)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Keep only the probes that touched the variable offset.
+		var at []ragnar.ULISample
+		for _, s := range samples {
+			if s.Offset == offset {
+				at = append(at, s)
+			}
+		}
+		tr := ragnar.SummarizeULI(at)
+		note := ""
+		switch {
+		case offset%64 == 0:
+			note = "(64B-aligned: fast)"
+		case offset%8 == 0:
+			note = "(8B-aligned)"
+		default:
+			note = "(unaligned: slow)"
+		}
+		fmt.Printf("  offset %5d: %7.1f ns mean [%7.1f, %7.1f] %s\n",
+			offset, tr.Mean, tr.P10, tr.P90, note)
+	}
+
+	fmt.Println()
+	fmt.Println("This latency modulation is invisible to Grain-I..III counters —")
+	fmt.Println("it is the covert carrier behind the intra-MR channel and the")
+	fmt.Println("disaggregated-memory snoop. Run the other examples to see both.")
+}

@@ -1,0 +1,3 @@
+module github.com/thu-has/ragnar
+
+go 1.22

@@ -1,0 +1,175 @@
+// Cross-module integration tests: each exercises a full attack path through
+// the public API plus the application substrates, the way the paper's
+// end-to-end scenarios do.
+package ragnar_test
+
+import (
+	"testing"
+
+	"github.com/thu-has/ragnar"
+	"github.com/thu-has/ragnar/internal/appdisagg"
+	"github.com/thu-has/ragnar/internal/lab"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sidechan"
+	"github.com/thu-has/ragnar/internal/stats"
+	"github.com/thu-has/ragnar/internal/verbs"
+)
+
+// The Section VI-B scenario end to end: a victim's B+ tree lookups
+// concentrate on one leaf; the attacker, knowing only the shared MR, recovers
+// which region the victim hits via the offset effect.
+func TestSnoopRecoversBTreeLeafBank(t *testing.T) {
+	// Build the index and find the hot key's leaf offset (the secret).
+	cfg := lab.DefaultConfig(nic.CX4)
+	cfg.Clients = 2
+	c := lab.New(cfg)
+	ms, err := appdisagg.NewMemoryServer(c, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := appdisagg.NewClient(c, ms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v [appdisagg.ValueBytes]byte
+	for k := uint64(0); k < 64; k++ {
+		if err := cl.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const hotKey = 23
+	leafOff, err := cl.LeafOffsetOf(hotKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-create the scenario in the snoop rig: the victim generator reads
+	// the leaf's first entries (as tree lookups do), the attacker probes.
+	snoopCfg := sidechan.DefaultSnoopConfig(nic.CX4)
+	snoopCfg.Background = false
+	snoopCfg.ProbesPerOffset = 8
+	snoopCfg.Observation = nil
+	// Observation window around the candidate node region, node-aligned to
+	// the tree's 1 KiB blocks; probe at 16 B granularity.
+	base := leafOff - leafOff%1024
+	for off := base; off <= base+1024; off += 16 {
+		snoopCfg.Observation = append(snoopCfg.Observation, off)
+	}
+	s, err := sidechan.NewSnooper(snoopCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate (victim idle), then capture live and subtract the
+	// attacker's own offset-dependent costs.
+	baseline, err := s.CaptureBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := s.CaptureTrace(leafOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sidechan.Subtract(live, baseline)
+	// The victim's bank must stand out against the rest.
+	banks := uint64(nic.CX4.TPUBanks)
+	var same, other []float64
+	for i, off := range snoopCfg.Observation {
+		if (off/64)%banks == (leafOff/64)%banks {
+			same = append(same, trace[i])
+		} else {
+			other = append(other, trace[i])
+		}
+	}
+	if stats.Mean(same) <= stats.Mean(other) {
+		t.Fatalf("tree leaf at offset %d not visible: same-bank %.2f vs other %.2f",
+			leafOff, stats.Mean(same), stats.Mean(other))
+	}
+}
+
+// Conservation invariant at the DES level: every posted work request
+// completes exactly once, regardless of the op mix.
+func TestEveryWQECompletesOnce(t *testing.T) {
+	cluster := ragnar.NewCluster(ragnar.DefaultClusterConfig(ragnar.CX5))
+	mr, err := cluster.RegisterServerMR(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := cluster.Dial(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	conn.CQ.Notify = func(c nic.Completion) { seen[c.WRID]++ }
+
+	posted := 0
+	rng := cluster.Eng.Rand()
+	for i := 0; i < 200; i++ {
+		wrid := uint64(i)
+		var err error
+		switch rng.Intn(4) {
+		case 0:
+			err = conn.QP.PostRead(wrid, nil, mr.Describe(uint64(rng.Intn(1024))*64), 64)
+		case 1:
+			err = conn.QP.PostWrite(wrid, make([]byte, 128), mr.Describe(uint64(rng.Intn(1024))*64), 128)
+		case 2:
+			err = conn.QP.PostAtomicFAA(wrid, mr.Describe(uint64(rng.Intn(64))*8), 1)
+		case 3:
+			// Deliberately out of bounds: must still complete (with error).
+			err = conn.QP.PostRead(wrid, nil, mr.Describe(mr.Size()), 64)
+		}
+		if err == verbs.ErrSQFull {
+			cluster.Eng.Run() // drain and retry once
+			i--
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		posted++
+	}
+	cluster.Eng.Run()
+	if len(seen) != posted {
+		t.Fatalf("posted %d WQEs, %d distinct completions", posted, len(seen))
+	}
+	for wrid, n := range seen {
+		if n != 1 {
+			t.Fatalf("WQE %d completed %d times", wrid, n)
+		}
+	}
+	if conn.QP.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after drain", conn.QP.Outstanding())
+	}
+}
+
+// The covert channel works through the public API against a cluster that
+// also hosts a live application — attacks and workloads coexist.
+func TestChannelSurvivesApplicationTraffic(t *testing.T) {
+	ch, err := ragnar.NewInterMRChannel(ragnar.CX5, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tree workload shares the cluster: same server, same engine.
+	ms, err := appdisagg.NewMemoryServer(ch.Cluster, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := appdisagg.NewClient(ch.Cluster, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v [appdisagg.ValueBytes]byte
+	for k := uint64(0); k < 30; k++ {
+		if err := cl.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Now transmit: the channel must still decode (the tree is quiescent
+	// during transmission; its MR registration and cache footprint remain).
+	run, err := ch.Transmit(ragnar.RandomBits(77, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.ErrorRate > 0.2 {
+		t.Fatalf("channel error %.1f%% alongside application state", run.Result.ErrorRate*100)
+	}
+}

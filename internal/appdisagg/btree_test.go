@@ -1,0 +1,228 @@
+package appdisagg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/thu-has/ragnar/internal/lab"
+	"github.com/thu-has/ragnar/internal/nic"
+)
+
+func newTree(t *testing.T) (*lab.Cluster, *MemoryServer, *Client) {
+	t.Helper()
+	cfg := lab.DefaultConfig(nic.CX5)
+	c := lab.New(cfg)
+	ms, err := NewMemoryServer(c, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(c, ms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ms, cl
+}
+
+func val(b byte) [ValueBytes]byte {
+	var v [ValueBytes]byte
+	for i := range v {
+		v[i] = b
+	}
+	return v
+}
+
+func TestInsertGet(t *testing.T) {
+	_, _, cl := newTree(t)
+	if err := cl.Insert(42, val(7)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cl.Get(42)
+	if err != nil || !ok {
+		t.Fatalf("get: %v ok=%v", err, ok)
+	}
+	if got != val(7) {
+		t.Fatalf("value mismatch")
+	}
+	if _, ok, _ := cl.Get(43); ok {
+		t.Fatal("missing key reported present")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	_, _, cl := newTree(t)
+	cl.Insert(5, val(1))
+	cl.Insert(5, val(2))
+	got, ok, _ := cl.Get(5)
+	if !ok || got != val(2) {
+		t.Fatal("update not visible")
+	}
+}
+
+func TestSplitAndOrdering(t *testing.T) {
+	_, _, cl := newTree(t)
+	// Enough keys to force several leaf splits (fanout 15).
+	n := uint64(120)
+	for k := uint64(0); k < n; k++ {
+		key := (k * 37) % 127 // scrambled order, unique mod 127
+		if err := cl.Insert(key, val(byte(key))); err != nil {
+			t.Fatalf("insert %d: %v", key, err)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		key := (k * 37) % 127
+		got, ok, err := cl.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("get %d after splits: ok=%v err=%v", key, ok, err)
+		}
+		if got != val(byte(key)) {
+			t.Fatalf("value mismatch for %d", key)
+		}
+	}
+	// Scan returns sorted keys.
+	keys, err := cl.Scan(0, int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("scan not sorted: %v", keys)
+	}
+	if len(keys) != int(n) {
+		t.Fatalf("scan returned %d keys, want %d", len(keys), n)
+	}
+}
+
+func TestPathCacheReducesReads(t *testing.T) {
+	_, _, cl := newTree(t)
+	for k := uint64(0); k < 60; k++ {
+		cl.Insert(k, val(byte(k)))
+	}
+	// Repeated hits on one key: with the path cache, each lookup after the
+	// first should be a single leaf read.
+	cl.PathCache = true
+	cl.Get(10)
+	before := cl.Reads
+	for i := 0; i < 20; i++ {
+		cl.Get(10)
+	}
+	perGet := float64(cl.Reads-before) / 20
+	if perGet > 1.01 {
+		t.Fatalf("path-cached Get costs %.2f reads, want 1", perGet)
+	}
+}
+
+func TestLeafOffsetWithinRegion(t *testing.T) {
+	_, ms, cl := newTree(t)
+	for k := uint64(0); k < 40; k++ {
+		cl.Insert(k, val(1))
+	}
+	off, err := cl.LeafOffsetOf(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off == 0 || off >= ms.MR.Size() {
+		t.Fatalf("leaf offset %d outside region", off)
+	}
+	if off%NodeBytes != 0 {
+		t.Fatalf("leaf offset %d not node-aligned", off)
+	}
+}
+
+// Property: for any insertion order of distinct keys, every key is
+// retrievable and Scan is sorted — the core index invariant.
+func TestTreeInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := lab.DefaultConfig(nic.CX6)
+		cfg.Seed = seed
+		c := lab.New(cfg)
+		ms, err := NewMemoryServer(c, 2<<20)
+		if err != nil {
+			return false
+		}
+		cl, err := NewClient(c, ms, 0)
+		if err != nil {
+			return false
+		}
+		// Permuted distinct keys derived from the seed.
+		n := 80
+		keys := make([]uint64, n)
+		x := uint64(seed)*2 + 1
+		for i := range keys {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			keys[i] = uint64(i)*16 + x%16
+		}
+		for _, k := range keys {
+			if err := cl.Insert(k, val(byte(k))); err != nil {
+				return false
+			}
+		}
+		for _, k := range keys {
+			if _, ok, err := cl.Get(k); err != nil || !ok {
+				return false
+			}
+		}
+		got, err := cl.Scan(0, n)
+		if err != nil || len(got) != n {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllEntriesAre64B(t *testing.T) {
+	if EntryBytes != 64 {
+		t.Fatal("Sherman's KV unit is 64 B")
+	}
+	if NodeBytes%EntryBytes != 0 {
+		t.Fatal("node must pack whole entries")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	_, _, cl := newTree(t)
+	for k := uint64(0); k < 40; k++ {
+		cl.Insert(k, val(byte(k)))
+	}
+	ok, err := cl.Delete(17)
+	if err != nil || !ok {
+		t.Fatalf("delete: ok=%v err=%v", ok, err)
+	}
+	if _, found, _ := cl.Get(17); found {
+		t.Fatal("deleted key still readable")
+	}
+	// Neighbours survive.
+	if _, found, _ := cl.Get(16); !found {
+		t.Fatal("neighbour lost")
+	}
+	if _, found, _ := cl.Get(18); !found {
+		t.Fatal("neighbour lost")
+	}
+	// Deleting again reports absent.
+	ok, err = cl.Delete(17)
+	if err != nil || ok {
+		t.Fatalf("double delete: ok=%v err=%v", ok, err)
+	}
+	// Scan skips tombstones.
+	keys, err := cl.Scan(0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if k == 17 {
+			t.Fatal("tombstone leaked into scan")
+		}
+	}
+	// Reinsert resurrects.
+	if err := cl.Insert(17, val(99)); err != nil {
+		t.Fatal(err)
+	}
+	got, found, _ := cl.Get(17)
+	if !found || got != val(99) {
+		t.Fatal("reinsert after delete failed")
+	}
+}

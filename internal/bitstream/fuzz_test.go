@@ -1,0 +1,27 @@
+package bitstream
+
+import "testing"
+
+// FuzzDeframe hardens the covert-channel deframer: arbitrary bit noise must
+// never panic it, and framed payloads embedded at any position must be
+// recovered intact.
+func FuzzDeframe(f *testing.F) {
+	f.Add([]byte("10101011" + "0000000000000100" + "1011"))
+	f.Add([]byte("000111"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Interpret bytes as a bit string (non-bits rejected by ParseBits).
+		bits, err := ParseBits(string(raw))
+		if err != nil {
+			return
+		}
+		if payload, err := Deframe(bits); err == nil {
+			// Whatever was recovered must re-frame into a stream that
+			// deframes to the same payload.
+			again, err := Deframe(Frame(payload))
+			if err != nil || again.String() != payload.String() {
+				t.Fatalf("deframe instability: %q vs %q (%v)", payload, again, err)
+			}
+		}
+	})
+}

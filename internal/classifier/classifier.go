@@ -1,0 +1,180 @@
+// Package classifier provides the trace classifiers for the Figure 13
+// snoop: a nearest-centroid baseline and a from-scratch 1-D convolutional
+// network trained with SGD. The paper uses a ResNet18 on 257-dimensional
+// ULI traces; the classification problem is small enough that a compact CNN
+// reaches the same separability, and the substitution is documented in
+// DESIGN.md.
+package classifier
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Dataset is a labelled set of fixed-length traces.
+type Dataset struct {
+	X       [][]float64
+	Y       []int
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Add appends one labelled trace.
+func (d *Dataset) Add(x []float64, y int) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+	if y+1 > d.Classes {
+		d.Classes = y + 1
+	}
+}
+
+// Split partitions the dataset into train and test sets with the given
+// train fraction, shuffling deterministically by seed and stratifying is
+// unnecessary at these sizes.
+func (d *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(d.Len())
+	nTrain := int(float64(d.Len()) * trainFrac)
+	train = &Dataset{Classes: d.Classes}
+	test = &Dataset{Classes: d.Classes}
+	for i, j := range idx {
+		if i < nTrain {
+			train.Add(d.X[j], d.Y[j])
+		} else {
+			test.Add(d.X[j], d.Y[j])
+		}
+	}
+	return train, test
+}
+
+// Standardizer performs per-feature z-scoring fitted on training data.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer computes feature statistics.
+func FitStandardizer(X [][]float64) *Standardizer {
+	if len(X) == 0 {
+		return &Standardizer{}
+	}
+	n := len(X[0])
+	s := &Standardizer{Mean: make([]float64, n), Std: make([]float64, n)}
+	for _, x := range X {
+		for j, v := range x {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= float64(len(X))
+	}
+	for _, x := range X {
+		for j, v := range x {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / float64(len(X)))
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Apply z-scores one trace.
+func (s *Standardizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// Model is anything that predicts a class from a trace.
+type Model interface {
+	Predict(x []float64) int
+}
+
+// Evaluate returns accuracy and the confusion matrix (rows = truth).
+func Evaluate(m Model, test *Dataset) (float64, [][]int) {
+	conf := make([][]int, test.Classes)
+	for i := range conf {
+		conf[i] = make([]int, test.Classes)
+	}
+	correct := 0
+	for i, x := range test.X {
+		p := m.Predict(x)
+		if p >= 0 && p < test.Classes {
+			conf[test.Y[i]][p]++
+		}
+		if p == test.Y[i] {
+			correct++
+		}
+	}
+	if test.Len() == 0 {
+		return 0, conf
+	}
+	return float64(correct) / float64(test.Len()), conf
+}
+
+// ---------------------------------------------------------------------------
+// Nearest centroid
+// ---------------------------------------------------------------------------
+
+// NearestCentroid classifies by Euclidean distance to per-class mean traces.
+type NearestCentroid struct {
+	Centroids [][]float64
+	std       *Standardizer
+}
+
+// TrainNearestCentroid fits the baseline.
+func TrainNearestCentroid(train *Dataset) (*NearestCentroid, error) {
+	if train.Len() == 0 {
+		return nil, errors.New("classifier: empty training set")
+	}
+	std := FitStandardizer(train.X)
+	dim := len(train.X[0])
+	sums := make([][]float64, train.Classes)
+	counts := make([]int, train.Classes)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+	for i, x := range train.X {
+		z := std.Apply(x)
+		for j, v := range z {
+			sums[train.Y[i]][j] += v
+		}
+		counts[train.Y[i]]++
+	}
+	for c := range sums {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range sums[c] {
+			sums[c][j] /= float64(counts[c])
+		}
+	}
+	return &NearestCentroid{Centroids: sums, std: std}, nil
+}
+
+// Predict returns the nearest class.
+func (nc *NearestCentroid) Predict(x []float64) int {
+	z := nc.std.Apply(x)
+	best, bestD := -1, math.Inf(1)
+	for c, cen := range nc.Centroids {
+		var d float64
+		for j := range z {
+			diff := z[j] - cen[j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,147 @@
+package classifier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth builds a K-class dataset of noisy prototype traces of length dim:
+// class c has a bump at a class-specific position, like the snoop traces.
+func synth(classes, perClass, dim int, noise float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{}
+	for c := 0; c < classes; c++ {
+		center := (c*dim)/classes + dim/(2*classes)
+		for s := 0; s < perClass; s++ {
+			x := make([]float64, dim)
+			for j := range x {
+				d := float64(j - center)
+				x[j] = math.Exp(-d*d/18) + rng.NormFloat64()*noise
+			}
+			ds.Add(x, c)
+		}
+	}
+	return ds
+}
+
+func TestSplit(t *testing.T) {
+	ds := synth(3, 20, 32, 0.1, 1)
+	train, test := ds.Split(0.75, 7)
+	if train.Len()+test.Len() != ds.Len() {
+		t.Fatal("split lost samples")
+	}
+	if train.Len() != 45 {
+		t.Fatalf("train size %d", train.Len())
+	}
+	if train.Classes != 3 || test.Classes != 3 {
+		t.Fatal("class count lost in split")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	X := [][]float64{{1, 10}, {3, 30}}
+	s := FitStandardizer(X)
+	z := s.Apply([]float64{2, 20})
+	if math.Abs(z[0]) > 1e-12 || math.Abs(z[1]) > 1e-12 {
+		t.Fatalf("midpoint should standardise to 0: %v", z)
+	}
+	// Constant features must not divide by zero.
+	s2 := FitStandardizer([][]float64{{5}, {5}})
+	if out := s2.Apply([]float64{5}); out[0] != 0 {
+		t.Fatalf("constant feature: %v", out)
+	}
+}
+
+func TestNearestCentroidSeparable(t *testing.T) {
+	ds := synth(5, 30, 64, 0.15, 3)
+	train, test := ds.Split(0.7, 3)
+	nc, err := TrainNearestCentroid(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, conf := Evaluate(nc, test)
+	if acc < 0.95 {
+		t.Fatalf("nearest centroid accuracy %.2f on separable data", acc)
+	}
+	// Confusion matrix totals must equal test size.
+	total := 0
+	for _, row := range conf {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != test.Len() {
+		t.Fatalf("confusion total %d vs %d", total, test.Len())
+	}
+}
+
+func TestTrainNearestCentroidEmpty(t *testing.T) {
+	if _, err := TrainNearestCentroid(&Dataset{}); err == nil {
+		t.Fatal("empty training should error")
+	}
+}
+
+func TestCNNLearnsSeparableClasses(t *testing.T) {
+	ds := synth(6, 40, 96, 0.25, 5)
+	train, test := ds.Split(0.75, 5)
+	cfg := DefaultCNNConfig()
+	cfg.Epochs = 12
+	cnn, err := TrainCNN(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := Evaluate(cnn, test)
+	if acc < 0.9 {
+		t.Fatalf("CNN accuracy %.2f on separable data, want >= 0.9", acc)
+	}
+}
+
+func TestCNNBeatsChanceOnHardData(t *testing.T) {
+	ds := synth(8, 30, 64, 0.9, 11)
+	train, test := ds.Split(0.75, 11)
+	cfg := DefaultCNNConfig()
+	cfg.Epochs = 10
+	cnn, err := TrainCNN(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := Evaluate(cnn, test)
+	if acc < 2.0/8 {
+		t.Fatalf("CNN accuracy %.2f barely above chance", acc)
+	}
+}
+
+func TestCNNDeterministic(t *testing.T) {
+	ds := synth(3, 15, 48, 0.2, 2)
+	train, _ := ds.Split(0.8, 2)
+	cfg := DefaultCNNConfig()
+	cfg.Epochs = 3
+	a, _ := TrainCNN(train, cfg)
+	b, _ := TrainCNN(train, cfg)
+	for i := range ds.X {
+		if a.Predict(ds.X[i]) != b.Predict(ds.X[i]) {
+			t.Fatal("same-seed training diverged")
+		}
+	}
+}
+
+func TestTrainCNNEmpty(t *testing.T) {
+	if _, err := TrainCNN(&Dataset{}, DefaultCNNConfig()); err == nil {
+		t.Fatal("empty training should error")
+	}
+}
+
+func TestSoftmaxStable(t *testing.T) {
+	p := softmax([]float64{1000, 1000, 999})
+	sum := 0.0
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("softmax overflowed")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sum %v", sum)
+	}
+}

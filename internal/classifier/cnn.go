@@ -1,0 +1,366 @@
+package classifier
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// CNN is a compact 1-D convolutional network:
+//
+//	input (L) -> conv(k=9, C1 ch) -> ReLU -> maxpool(4)
+//	          -> conv(k=5, C1->C2) -> ReLU -> maxpool(4)
+//	          -> flatten -> fully connected -> logits
+//
+// trained with SGD + momentum on softmax cross-entropy. It is the working
+// stand-in for the paper's ResNet18 on 257-point ULI traces.
+type CNN struct {
+	inLen   int
+	classes int
+
+	c1, c2 int // channel widths
+	k1, k2 int // kernel sizes
+	p1, p2 int // pool factors
+
+	w1 [][]float64 // [c1][k1]
+	b1 []float64
+	w2 [][][]float64 // [c2][c1][k2]
+	b2 []float64
+	wf [][]float64 // [classes][flat]
+	bf []float64
+
+	std *Standardizer
+
+	// momentum buffers
+	mw1 [][]float64
+	mb1 []float64
+	mw2 [][][]float64
+	mb2 []float64
+	mwf [][]float64
+	mbf []float64
+}
+
+// CNNConfig controls training.
+type CNNConfig struct {
+	Epochs   int
+	LR       float64
+	Momentum float64
+	Seed     int64
+	C1, C2   int
+}
+
+// DefaultCNNConfig works well for the Fig 13 problem.
+func DefaultCNNConfig() CNNConfig {
+	return CNNConfig{Epochs: 40, LR: 0.003, Momentum: 0.9, Seed: 1, C1: 8, C2: 16}
+}
+
+// NewCNN builds an untrained network for traces of length inLen.
+func NewCNN(inLen, classes int, cfg CNNConfig) *CNN {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &CNN{
+		inLen: inLen, classes: classes,
+		c1: cfg.C1, c2: cfg.C2, k1: 9, k2: 5, p1: 4, p2: 4,
+	}
+	if n.c1 == 0 {
+		n.c1 = 8
+	}
+	if n.c2 == 0 {
+		n.c2 = 16
+	}
+	he := func(fanIn int) float64 { return math.Sqrt(2.0 / float64(fanIn)) }
+	n.w1 = make([][]float64, n.c1)
+	n.mw1 = make([][]float64, n.c1)
+	for c := range n.w1 {
+		n.w1[c] = make([]float64, n.k1)
+		n.mw1[c] = make([]float64, n.k1)
+		for i := range n.w1[c] {
+			n.w1[c][i] = rng.NormFloat64() * he(n.k1)
+		}
+	}
+	n.b1 = make([]float64, n.c1)
+	n.mb1 = make([]float64, n.c1)
+	n.w2 = make([][][]float64, n.c2)
+	n.mw2 = make([][][]float64, n.c2)
+	for o := range n.w2 {
+		n.w2[o] = make([][]float64, n.c1)
+		n.mw2[o] = make([][]float64, n.c1)
+		for c := range n.w2[o] {
+			n.w2[o][c] = make([]float64, n.k2)
+			n.mw2[o][c] = make([]float64, n.k2)
+			for i := range n.w2[o][c] {
+				n.w2[o][c][i] = rng.NormFloat64() * he(n.c1*n.k2)
+			}
+		}
+	}
+	n.b2 = make([]float64, n.c2)
+	n.mb2 = make([]float64, n.c2)
+	flat := n.flatLen()
+	n.wf = make([][]float64, classes)
+	n.mwf = make([][]float64, classes)
+	for c := range n.wf {
+		n.wf[c] = make([]float64, flat)
+		n.mwf[c] = make([]float64, flat)
+		for i := range n.wf[c] {
+			n.wf[c][i] = rng.NormFloat64() * he(flat)
+		}
+	}
+	n.bf = make([]float64, classes)
+	n.mbf = make([]float64, classes)
+	return n
+}
+
+func (n *CNN) l1Out() int   { return n.inLen - n.k1 + 1 }
+func (n *CNN) p1Out() int   { return n.l1Out() / n.p1 }
+func (n *CNN) l2Out() int   { return n.p1Out() - n.k2 + 1 }
+func (n *CNN) p2Out() int   { return n.l2Out() / n.p2 }
+func (n *CNN) flatLen() int { return n.c2 * n.p2Out() }
+
+// activations holds every intermediate needed by backprop.
+type activations struct {
+	in     []float64
+	conv1  [][]float64 // pre-pool post-relu [c1][l1]
+	argp1  [][]int     // pooling argmax indices [c1][p1Out]
+	pool1  [][]float64
+	conv2  [][]float64
+	argp2  [][]int
+	pool2  [][]float64
+	flat   []float64
+	logits []float64
+	probs  []float64
+}
+
+func (n *CNN) forward(x []float64) *activations {
+	a := &activations{in: x}
+	// conv1 + relu
+	a.conv1 = make([][]float64, n.c1)
+	for c := 0; c < n.c1; c++ {
+		out := make([]float64, n.l1Out())
+		for i := range out {
+			s := n.b1[c]
+			for k := 0; k < n.k1; k++ {
+				s += n.w1[c][k] * x[i+k]
+			}
+			if s < 0 {
+				s = 0
+			}
+			out[i] = s
+		}
+		a.conv1[c] = out
+	}
+	// pool1
+	a.pool1 = make([][]float64, n.c1)
+	a.argp1 = make([][]int, n.c1)
+	for c := 0; c < n.c1; c++ {
+		m := n.p1Out()
+		a.pool1[c] = make([]float64, m)
+		a.argp1[c] = make([]int, m)
+		for i := 0; i < m; i++ {
+			best, bi := math.Inf(-1), 0
+			for k := 0; k < n.p1; k++ {
+				idx := i*n.p1 + k
+				if v := a.conv1[c][idx]; v > best {
+					best, bi = v, idx
+				}
+			}
+			a.pool1[c][i] = best
+			a.argp1[c][i] = bi
+		}
+	}
+	// conv2 + relu
+	a.conv2 = make([][]float64, n.c2)
+	for o := 0; o < n.c2; o++ {
+		out := make([]float64, n.l2Out())
+		for i := range out {
+			s := n.b2[o]
+			for c := 0; c < n.c1; c++ {
+				for k := 0; k < n.k2; k++ {
+					s += n.w2[o][c][k] * a.pool1[c][i+k]
+				}
+			}
+			if s < 0 {
+				s = 0
+			}
+			out[i] = s
+		}
+		a.conv2[o] = out
+	}
+	// pool2
+	a.pool2 = make([][]float64, n.c2)
+	a.argp2 = make([][]int, n.c2)
+	for o := 0; o < n.c2; o++ {
+		m := n.p2Out()
+		a.pool2[o] = make([]float64, m)
+		a.argp2[o] = make([]int, m)
+		for i := 0; i < m; i++ {
+			best, bi := math.Inf(-1), 0
+			for k := 0; k < n.p2; k++ {
+				idx := i*n.p2 + k
+				if v := a.conv2[o][idx]; v > best {
+					best, bi = v, idx
+				}
+			}
+			a.pool2[o][i] = best
+			a.argp2[o][i] = bi
+		}
+	}
+	// flatten + fc
+	a.flat = make([]float64, 0, n.flatLen())
+	for o := 0; o < n.c2; o++ {
+		a.flat = append(a.flat, a.pool2[o]...)
+	}
+	a.logits = make([]float64, n.classes)
+	for c := 0; c < n.classes; c++ {
+		s := n.bf[c]
+		for i, v := range a.flat {
+			s += n.wf[c][i] * v
+		}
+		a.logits[c] = s
+	}
+	a.probs = softmax(a.logits)
+	return a
+}
+
+func softmax(z []float64) []float64 {
+	mx := math.Inf(-1)
+	for _, v := range z {
+		if v > mx {
+			mx = v
+		}
+	}
+	out := make([]float64, len(z))
+	var sum float64
+	for i, v := range z {
+		out[i] = math.Exp(v - mx)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// clip bounds a backpropagated gradient so one noisy sample cannot blow up
+// the weights (per-sample SGD has no batch averaging to damp it).
+func clip(g float64) float64 {
+	const lim = 5.0
+	if g > lim {
+		return lim
+	}
+	if g < -lim {
+		return -lim
+	}
+	return g
+}
+
+// backward applies one SGD step for sample (x, y).
+func (n *CNN) backward(a *activations, y int, lr, mom float64) {
+	// dLogits
+	dLog := append([]float64(nil), a.probs...)
+	dLog[y] -= 1
+
+	// FC grads and dFlat
+	dFlat := make([]float64, len(a.flat))
+	for c := 0; c < n.classes; c++ {
+		g := dLog[c]
+		for i, v := range a.flat {
+			n.mwf[c][i] = mom*n.mwf[c][i] - lr*g*v
+			n.wf[c][i] += n.mwf[c][i]
+			dFlat[i] += g * n.wf[c][i]
+		}
+		n.mbf[c] = mom*n.mbf[c] - lr*g
+		n.bf[c] += n.mbf[c]
+	}
+
+	// unflatten to dPool2, route through pool2 to dConv2 (relu mask)
+	dConv2 := make([][]float64, n.c2)
+	p2 := n.p2Out()
+	for o := 0; o < n.c2; o++ {
+		dConv2[o] = make([]float64, n.l2Out())
+		for i := 0; i < p2; i++ {
+			g := clip(dFlat[o*p2+i])
+			idx := a.argp2[o][i]
+			if a.conv2[o][idx] > 0 {
+				dConv2[o][idx] += g
+			}
+		}
+	}
+
+	// conv2 grads and dPool1
+	dPool1 := make([][]float64, n.c1)
+	for c := range dPool1 {
+		dPool1[c] = make([]float64, n.p1Out())
+	}
+	for o := 0; o < n.c2; o++ {
+		for i, g := range dConv2[o] {
+			if g == 0 {
+				continue
+			}
+			g = clip(g)
+			for c := 0; c < n.c1; c++ {
+				for k := 0; k < n.k2; k++ {
+					dPool1[c][i+k] += g * n.w2[o][c][k]
+					n.mw2[o][c][k] = mom*n.mw2[o][c][k] - lr*g*a.pool1[c][i+k]
+					n.w2[o][c][k] += n.mw2[o][c][k]
+				}
+			}
+			n.mb2[o] = mom*n.mb2[o] - lr*g
+			n.b2[o] += n.mb2[o]
+		}
+	}
+
+	// route through pool1 to dConv1 (relu mask), conv1 grads
+	for c := 0; c < n.c1; c++ {
+		for i := 0; i < n.p1Out(); i++ {
+			g := clip(dPool1[c][i])
+			if g == 0 {
+				continue
+			}
+			idx := a.argp1[c][i]
+			if a.conv1[c][idx] <= 0 {
+				continue
+			}
+			for k := 0; k < n.k1; k++ {
+				n.mw1[c][k] = mom*n.mw1[c][k] - lr*g*a.in[idx+k]
+				n.w1[c][k] += n.mw1[c][k]
+			}
+			n.mb1[c] = mom*n.mb1[c] - lr*g
+			n.b1[c] += n.mb1[c]
+		}
+	}
+}
+
+// TrainCNN fits a CNN on the dataset.
+func TrainCNN(train *Dataset, cfg CNNConfig) (*CNN, error) {
+	if train.Len() == 0 {
+		return nil, errors.New("classifier: empty training set")
+	}
+	n := NewCNN(len(train.X[0]), train.Classes, cfg)
+	n.std = FitStandardizer(train.X)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	lr := cfg.LR
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(train.Len())
+		for _, i := range perm {
+			x := n.std.Apply(train.X[i])
+			a := n.forward(x)
+			n.backward(a, train.Y[i], lr, cfg.Momentum)
+		}
+		lr *= 0.93 // step decay
+	}
+	return n, nil
+}
+
+// Predict returns the most probable class.
+func (n *CNN) Predict(x []float64) int {
+	if n.std != nil {
+		x = n.std.Apply(x)
+	}
+	a := n.forward(x)
+	best, bi := math.Inf(-1), -1
+	for i, v := range a.logits {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,176 @@
+// Package defense implements the mitigation study of Sections II-D and VII:
+// a HARMONIC-style monitor that watches Grain-I (per-class volume), Grain-II
+// (per-opcode) and Grain-III (per-QP/MR) counters on the server RNIC, and
+// the noise-injection mitigation that blurs ULI at a performance cost.
+//
+// The experiments show exactly the paper's point: counter-based isolation
+// flags the Grain-I..III channels, but the intra-MR Grain-IV channel is
+// invisible to it — the sender's counters are identical whichever address
+// offset it touches — while noise injection trades error rate against
+// latency inflation.
+package defense
+
+import (
+	"math"
+
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/stats"
+	"github.com/thu-has/ragnar/internal/telemetry"
+)
+
+// Snapshot aliases the telemetry counter snapshot the detectors consume.
+type Snapshot = telemetry.Snapshot
+
+// features flattens a delta snapshot into the metric vector HARMONIC
+// thresholds. Keys are stable strings so training and scoring align.
+func features(d Snapshot) map[string]float64 {
+	f := map[string]float64{
+		"tx_bytes": float64(d.TxBytes),
+		"rx_bytes": float64(d.RxBytes),
+	}
+	for tc, v := range d.PerTC {
+		if v > 0 {
+			f["tc/"+itoa(uint32(tc))] = float64(v)
+		}
+	}
+	for tc, v := range d.PFCPauses {
+		if v > 0 {
+			f["pfc/"+itoa(uint32(tc))] = float64(v)
+		}
+	}
+	for k, v := range d.PerOpcode {
+		f["op/"+k.String()] = float64(v)
+	}
+	for k, v := range d.PerMR {
+		f["mr/"+itoa(k)] = float64(v)
+	}
+	// Per-QP counters aggregate to activity spread: HARMONIC watches for
+	// single QPs dominating.
+	var qp []float64
+	for _, v := range d.PerQP {
+		qp = append(qp, float64(v))
+	}
+	if len(qp) > 0 {
+		f["qp_max"] = stats.Max(qp)
+		f["qp_total"] = stats.Sum(qp)
+	}
+	return f
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Harmonic is the counter-based anomaly detector: it learns the per-window
+// mean and deviation of every metric from benign traffic, then scores live
+// windows by their worst-case normalised deviation.
+type Harmonic struct {
+	mean map[string]float64
+	std  map[string]float64
+	// Threshold is the z-score above which a window is flagged.
+	Threshold float64
+}
+
+// TrainHarmonic fits the baseline from benign window deltas.
+func TrainHarmonic(benign []Snapshot) *Harmonic {
+	acc := map[string][]float64{}
+	for _, d := range benign {
+		for k, v := range features(d) {
+			acc[k] = append(acc[k], v)
+		}
+	}
+	h := &Harmonic{mean: map[string]float64{}, std: map[string]float64{}, Threshold: 4}
+	for k, xs := range acc {
+		m := stats.Mean(xs)
+		h.mean[k] = m
+		sd := stats.StdDev(xs)
+		// Benign workloads naturally wobble; a production isolation system
+		// must tolerate ~15% window-to-window variation or it would alarm
+		// constantly. This tolerance is exactly what Grain-IV channels hide
+		// beneath.
+		if floor := 0.15 * m; sd < floor {
+			sd = floor
+		}
+		if sd < 1 {
+			sd = 1 // quantised counters: avoid zero-variance divisions
+		}
+		h.std[k] = sd
+	}
+	return h
+}
+
+// Score returns the maximum normalised deviation of a window from the
+// benign baseline. Metrics unseen in training score by absolute magnitude
+// (a brand-new MR or opcode appearing is itself suspicious).
+func (h *Harmonic) Score(d Snapshot) float64 {
+	worst := 0.0
+	for k, v := range features(d) {
+		m, ok := h.mean[k]
+		if !ok {
+			if v > 0 {
+				worst = math.Max(worst, v) // unseen metric active
+			}
+			continue
+		}
+		z := math.Abs(v-m) / h.std[k]
+		worst = math.Max(worst, z)
+	}
+	return worst
+}
+
+// Detect reports whether the window trips the detector.
+func (h *Harmonic) Detect(d Snapshot) bool { return h.Score(d) > h.Threshold }
+
+// WindowedDeltas re-exports telemetry.WindowedDeltas for detector callers.
+func WindowedDeltas(series []Snapshot) []Snapshot { return telemetry.WindowedDeltas(series) }
+
+// ---------------------------------------------------------------------------
+// Noise injection (Section VII)
+// ---------------------------------------------------------------------------
+
+// NoiseMitigation installs sub-microsecond random service-time noise in the
+// NIC's translation pipeline, the paper's "adding noise" defense. Pure
+// added *latency* would pipeline away and leave ULI intact (the paper notes
+// noise "may still leave detectable traces"); to obscure ULI the noise must
+// occupy the serialising stage, which is also why it costs throughput.
+// Amplitude 0 disables it. It returns an uninstall function.
+func NoiseMitigation(n *nic.NIC, amplitude sim.Duration, rng interface{ Int63n(int64) int64 }) func() {
+	if amplitude <= 0 {
+		n.TPU().ExtraService = nil
+		return func() {}
+	}
+	n.TPU().ExtraService = func() sim.Duration {
+		return sim.Duration(rng.Int63n(int64(amplitude)))
+	}
+	return func() { n.TPU().ExtraService = nil }
+}
+
+// MitigationPoint is one row of the noise-vs-protection tradeoff.
+type MitigationPoint struct {
+	Amplitude sim.Duration
+	// ChannelErrorRate is the covert channel's error rate under this noise.
+	ChannelErrorRate float64
+	// LatencyInflation is mean benign request latency relative to no-noise.
+	LatencyInflation float64
+}
+
+// ConstantTimeMitigation enables (or disables) worst-case-padded
+// translations on a NIC — the Section VII "hardware partitioning / fixing
+// hardware features" defense. Unlike noise, it removes the Grain-III/IV
+// carrier entirely; the price is that every translation pays the slowest
+// path. It returns an uninstall function.
+func ConstantTimeMitigation(n *nic.NIC, on bool) func() {
+	n.TPU().SetConstantTime(on)
+	return func() { n.TPU().SetConstantTime(false) }
+}

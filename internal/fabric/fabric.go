@@ -1,0 +1,246 @@
+// Package fabric models the wire between RNICs: full-duplex links with a
+// line rate, propagation delay, and an egress scheduler implementing ETS
+// (Enhanced Transmission Selection, 802.1Qaz) across eight traffic classes —
+// the same knobs mlnx_qos exposes on ConnectX adapters. The paper's Grain-I/II
+// experiments configure two flows in ETS mode at 50 % bandwidth each and then
+// observe that the NIC-internal arbiters, not the wire scheduler, produce the
+// unbalanced outcomes; reproducing that requires a faithful wire-level ETS so
+// the imbalance can be attributed to the NIC model.
+package fabric
+
+import (
+	"fmt"
+
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+// NumTCs is the number of 802.1p traffic classes.
+const NumTCs = 8
+
+// Packet is one unit on the wire. Payload is opaque to the fabric; the
+// receiving NIC interprets it.
+type Packet struct {
+	TC      int // traffic class 0..7
+	Bytes   int // wire size including headers
+	Payload any
+}
+
+// SchedulerMode selects how a traffic class is served.
+type SchedulerMode int
+
+const (
+	// ETS serves the class by deficit-weighted round robin using its weight.
+	ETS SchedulerMode = iota
+	// Strict serves the class ahead of all ETS classes (and ahead of
+	// higher-numbered strict classes).
+	Strict
+)
+
+// QoSConfig mirrors an mlnx_qos configuration: per-TC mode and ETS weight
+// (percent, ETS classes should sum to 100 but the scheduler normalises).
+type QoSConfig struct {
+	Mode   [NumTCs]SchedulerMode
+	Weight [NumTCs]int
+}
+
+// DefaultQoS gives every class ETS mode with equal weights.
+func DefaultQoS() QoSConfig {
+	var q QoSConfig
+	for i := range q.Weight {
+		q.Weight[i] = 100 / NumTCs
+	}
+	return q
+}
+
+// SplitQoS reproduces the paper's two-flow setup: tcA and tcB each get 50 %.
+func SplitQoS(tcA, tcB int) QoSConfig {
+	var q QoSConfig
+	q.Weight[tcA] = 50
+	q.Weight[tcB] = 50
+	return q
+}
+
+// Link is one direction of a wire: packets enqueue per TC and drain at the
+// line rate under the ETS scheduler, then arrive at the sink after the
+// propagation delay.
+type Link struct {
+	eng       *sim.Engine
+	name      string
+	rateGbps  float64
+	propDelay sim.Duration
+	qos       QoSConfig
+	queues    [NumTCs][]Packet
+	deficit   [NumTCs]int
+	quantum   [NumTCs]int
+	busy      bool
+	sink      func(Packet)
+
+	// Telemetry, per TC.
+	txBytes   [NumTCs]uint64
+	txPackets [NumTCs]uint64
+	qDrops    [NumTCs]uint64
+	maxQueue  int
+}
+
+// NewLink creates a link delivering packets to sink. maxQueue bounds each
+// TC's queue; 0 means unbounded.
+func NewLink(eng *sim.Engine, name string, rateGbps float64, prop sim.Duration, maxQueue int, sink func(Packet)) *Link {
+	if rateGbps <= 0 {
+		panic("fabric: line rate must be positive")
+	}
+	l := &Link{eng: eng, name: name, rateGbps: rateGbps, propDelay: prop, maxQueue: maxQueue, sink: sink}
+	l.SetQoS(DefaultQoS())
+	return l
+}
+
+// SetQoS applies an mlnx_qos-style configuration. The DWRR quantum for an
+// ETS class is proportional to its weight.
+func (l *Link) SetQoS(q QoSConfig) {
+	l.qos = q
+	for i, w := range q.Weight {
+		if w < 0 {
+			w = 0
+		}
+		// Quantum in bytes per round: weight percent of a 16 KB round.
+		l.quantum[i] = w * 16384 / 100
+		if l.quantum[i] == 0 && q.Mode[i] == ETS {
+			l.quantum[i] = 64 // idle classes still make progress
+		}
+	}
+}
+
+// RateGbps returns the configured line rate.
+func (l *Link) RateGbps() float64 { return l.rateGbps }
+
+// SerializationDelay returns the time to clock the given bytes onto the wire.
+func (l *Link) SerializationDelay(bytes int) sim.Duration {
+	// bits / (Gbps * 1e9) seconds = bits / rate ns = bits * 1000 / rate ps.
+	return sim.Duration(float64(bytes*8) * 1000.0 / l.rateGbps)
+}
+
+// Send enqueues a packet. It returns an error when the TC queue is full
+// (tail drop), which the caller treats as wire-level loss.
+func (l *Link) Send(p Packet) error {
+	if p.TC < 0 || p.TC >= NumTCs {
+		return fmt.Errorf("fabric %s: invalid TC %d", l.name, p.TC)
+	}
+	if p.Bytes <= 0 {
+		return fmt.Errorf("fabric %s: non-positive packet size %d", l.name, p.Bytes)
+	}
+	if l.maxQueue > 0 && len(l.queues[p.TC]) >= l.maxQueue {
+		l.qDrops[p.TC]++
+		return fmt.Errorf("fabric %s: TC %d queue full", l.name, p.TC)
+	}
+	l.queues[p.TC] = append(l.queues[p.TC], p)
+	if !l.busy {
+		l.drain()
+	}
+	return nil
+}
+
+// pick selects the next TC to serve: strict classes first (lowest index
+// wins), then DWRR among ETS classes.
+func (l *Link) pick() int {
+	for tc := 0; tc < NumTCs; tc++ {
+		if l.qos.Mode[tc] == Strict && len(l.queues[tc]) > 0 {
+			return tc
+		}
+	}
+	// DWRR: loop until some class has enough deficit for its head packet.
+	for round := 0; round < 2*NumTCs+1; round++ {
+		for tc := 0; tc < NumTCs; tc++ {
+			if l.qos.Mode[tc] != ETS || len(l.queues[tc]) == 0 {
+				continue
+			}
+			if l.deficit[tc] >= l.queues[tc][0].Bytes {
+				return tc
+			}
+		}
+		// No class ready: replenish all backlogged ETS classes.
+		replenished := false
+		for tc := 0; tc < NumTCs; tc++ {
+			if l.qos.Mode[tc] == ETS && len(l.queues[tc]) > 0 {
+				l.deficit[tc] += l.quantum[tc]
+				replenished = true
+			}
+		}
+		if !replenished {
+			return -1
+		}
+	}
+	// Pathological packet larger than any quantum accumulation window:
+	// serve the first backlogged class to guarantee progress.
+	for tc := 0; tc < NumTCs; tc++ {
+		if len(l.queues[tc]) > 0 {
+			return tc
+		}
+	}
+	return -1
+}
+
+func (l *Link) drain() {
+	tc := l.pick()
+	if tc < 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	p := l.queues[tc][0]
+	l.queues[tc] = l.queues[tc][1:]
+	if l.qos.Mode[tc] == ETS {
+		l.deficit[tc] -= p.Bytes
+		if l.deficit[tc] < 0 {
+			l.deficit[tc] = 0
+		}
+	}
+	if len(l.queues[tc]) == 0 {
+		l.deficit[tc] = 0 // DRR: idle classes forfeit their deficit
+	}
+	ser := l.SerializationDelay(p.Bytes)
+	l.eng.After(ser, func() {
+		l.txBytes[p.TC] += uint64(p.Bytes)
+		l.txPackets[p.TC]++
+		l.eng.After(l.propDelay, func() {
+			if l.sink != nil {
+				l.sink(p)
+			}
+		})
+		l.drain()
+	})
+}
+
+// QueueLen reports the backlog of one TC.
+func (l *Link) QueueLen(tc int) int { return len(l.queues[tc]) }
+
+// TxBytes reports bytes clocked out for one TC (an ethtool-style counter).
+func (l *Link) TxBytes(tc int) uint64 { return l.txBytes[tc] }
+
+// TxPackets reports packets clocked out for one TC.
+func (l *Link) TxPackets(tc int) uint64 { return l.txPackets[tc] }
+
+// Drops reports tail drops for one TC.
+func (l *Link) Drops(tc int) uint64 { return l.qDrops[tc] }
+
+// TotalTxBytes sums bytes across all TCs.
+func (l *Link) TotalTxBytes() uint64 {
+	var s uint64
+	for _, b := range l.txBytes {
+		s += b
+	}
+	return s
+}
+
+// Wire is a full-duplex connection: two independent links between endpoints
+// A and B.
+type Wire struct {
+	AtoB *Link
+	BtoA *Link
+}
+
+// NewWire builds both directions with shared rate and propagation delay.
+func NewWire(eng *sim.Engine, name string, rateGbps float64, prop sim.Duration, maxQueue int, sinkB, sinkA func(Packet)) *Wire {
+	return &Wire{
+		AtoB: NewLink(eng, name+":a->b", rateGbps, prop, maxQueue, sinkB),
+		BtoA: NewLink(eng, name+":b->a", rateGbps, prop, maxQueue, sinkA),
+	}
+}

@@ -1,0 +1,129 @@
+// Package lab assembles the standard Ragnar experiment topology — one
+// server context shared by several client contexts, per the paper's threat
+// model (Figure 2) — so reverse-engineering benchmarks, covert channels and
+// side-channel attacks all build on identical plumbing.
+package lab
+
+import (
+	"fmt"
+
+	"github.com/thu-has/ragnar/internal/fabric"
+	"github.com/thu-has/ragnar/internal/host"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/verbs"
+)
+
+// Cluster is a server plus client contexts wired through the fabric.
+type Cluster struct {
+	Eng      *sim.Engine
+	Profile  nic.Profile
+	Server   *verbs.Context
+	ServerPD *verbs.PD
+	Clients  []*verbs.Context
+}
+
+// Config parameterises a cluster.
+type Config struct {
+	Seed     int64
+	Profile  nic.Profile
+	Clients  int
+	QoS      fabric.QoSConfig
+	ServerHW host.Config
+	ClientHW host.Config
+}
+
+// DefaultConfig mirrors the paper's setup: H3 serves, H2-class clients,
+// ETS with two 50% classes.
+func DefaultConfig(p nic.Profile) Config {
+	return Config{
+		Seed:     1,
+		Profile:  p,
+		Clients:  2,
+		QoS:      fabric.SplitQoS(0, 3),
+		ServerHW: host.H3,
+		ClientHW: host.H2,
+	}
+}
+
+// New builds the cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.ServerHW.Name == "" {
+		cfg.ServerHW = host.H3
+	}
+	if cfg.ClientHW.Name == "" {
+		cfg.ClientHW = host.H2
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	// The Grain-III/IV methodology disables DDIO to remove cache-induced
+	// variance; the host default is already DDIO-off.
+	server := verbs.NewContext(eng, "server", cfg.ServerHW, cfg.Profile, 0)
+	c := &Cluster{
+		Eng:      eng,
+		Profile:  cfg.Profile,
+		Server:   server,
+		ServerPD: server.AllocPD(),
+	}
+	net := verbs.NewNetwork(eng)
+	// Same-rack cabling: the paper's hosts sit under one switch.
+	net.PropDelay = 200 * sim.Nanosecond
+	for i := 0; i < cfg.Clients; i++ {
+		cl := verbs.NewContext(eng, fmt.Sprintf("client%d", i), cfg.ClientHW, cfg.Profile, 0)
+		net.ConnectContexts(cl, server, cfg.QoS)
+		c.Clients = append(c.Clients, cl)
+	}
+	return c
+}
+
+// RegisterServerMR registers a remotely readable/writable MR of size bytes
+// on 2 MB huge pages (the paper's Grain-III/IV configuration).
+func (c *Cluster) RegisterServerMR(size uint64) (*verbs.MR, error) {
+	return c.ServerPD.RegMR(size, host.Page2M,
+		verbs.AccessRemoteRead|verbs.AccessRemoteWrite|verbs.AccessRemoteAtomic)
+}
+
+// Conn is a connected client QP with its CQ.
+type Conn struct {
+	Client *verbs.Context
+	QP     *verbs.QP
+	CQ     *verbs.CQ
+	server *verbs.QP
+}
+
+// ServerQP returns the server-side endpoint of the connection.
+func (cn *Conn) ServerQP() *verbs.QP { return cn.server }
+
+// Dial connects client i to the server with the given send-queue depth.
+func (c *Cluster) Dial(client int, sqDepth int) (*Conn, error) {
+	if client < 0 || client >= len(c.Clients) {
+		return nil, fmt.Errorf("lab: client %d out of range", client)
+	}
+	cl := c.Clients[client]
+	cq := cl.CreateCQ(0)
+	qp, err := cl.CreateQP(cl.AllocPD(), cq, verbs.QPCap{MaxSendWR: sqDepth})
+	if err != nil {
+		return nil, err
+	}
+	sq, err := c.Server.CreateQP(c.ServerPD, c.Server.CreateCQ(0), verbs.QPCap{})
+	if err != nil {
+		return nil, err
+	}
+	if err := verbs.Connect(qp, sq); err != nil {
+		return nil, err
+	}
+	return &Conn{Client: cl, QP: qp, CQ: cq, server: sq}, nil
+}
+
+// Warm performs one read per connection against the MR so cold QPC/MTT
+// misses do not pollute subsequent measurements.
+func (c *Cluster) Warm(conn *Conn, mr *verbs.MR) error {
+	if err := conn.QP.PostRead(^uint64(0), nil, mr.Describe(0), 8); err != nil {
+		return err
+	}
+	c.Eng.Run()
+	conn.CQ.Poll(conn.CQ.Len())
+	return nil
+}

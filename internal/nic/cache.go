@@ -1,0 +1,137 @@
+package nic
+
+// Cache is a set-associative on-NIC context cache with LRU replacement,
+// used for the MTT (memory translation table) and QPC (queue pair context)
+// structures. Pythia's persistent covert channel works by evicting victim
+// MTT entries and timing the refill; Ragnar's volatile channels do not rely
+// on it, but the cache must exist for the baseline comparison and because
+// cold-start misses shape real latency traces.
+type Cache struct {
+	sets    int
+	ways    int
+	tags    [][]uint64
+	valid   [][]bool
+	lruTick [][]uint64
+	tick    uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewCache builds a cache with the given total entries and associativity.
+// Entries must be a multiple of ways.
+func NewCache(entries, ways int) *Cache {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("nic: cache entries must be a positive multiple of ways")
+	}
+	sets := entries / ways
+	c := &Cache{sets: sets, ways: ways}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lruTick = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+		c.lruTick[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+func (c *Cache) set(key uint64) int { return int(mix(key) % uint64(c.sets)) }
+
+// mix is a 64-bit finaliser (splitmix64) so dense keys spread across sets.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Access touches key and reports whether it hit. On a miss the key is
+// installed, evicting the set's LRU way.
+func (c *Cache) Access(key uint64) bool {
+	s := c.set(key)
+	c.tick++
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == key {
+			c.lruTick[s][w] = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if !c.valid[s][w] {
+			victim = w
+			break
+		}
+		if c.lruTick[s][w] < c.lruTick[s][victim] {
+			victim = w
+		}
+	}
+	if !c.valid[s][victim] {
+		// Prefer an invalid way anywhere in the set.
+		for w := 0; w < c.ways; w++ {
+			if !c.valid[s][w] {
+				victim = w
+				break
+			}
+		}
+	}
+	c.tags[s][victim] = key
+	c.valid[s][victim] = true
+	c.lruTick[s][victim] = c.tick
+	return false
+}
+
+// Contains reports whether key is resident without touching LRU state.
+func (c *Cache) Contains(key uint64) bool {
+	s := c.set(key)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Evict removes key if resident, reporting whether it was.
+func (c *Cache) Evict(key uint64) bool {
+	s := c.set(key)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == key {
+			c.valid[s][w] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the whole cache.
+func (c *Cache) Flush() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+		}
+	}
+}
+
+// Stats returns cumulative hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Sets returns the number of sets, Ways the associativity.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the cache associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SetIndex returns the set a key maps to. Pythia-style attacks use this
+// reverse-engineered mapping to build minimal eviction sets.
+func (c *Cache) SetIndex(key uint64) int { return c.set(key) }
+
+// MTTKey builds the translation-cache key for a page of an MR — the hash
+// the TPU uses internally, which Pythia reverse engineering recovered.
+func MTTKey(mrKey uint32, pageNumber uint64) uint64 {
+	return uint64(mrKey)<<40 ^ pageNumber
+}

@@ -1,0 +1,138 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(64, 4)
+	if c.Access(1) {
+		t.Fatal("first access should miss")
+	}
+	if !c.Access(1) {
+		t.Fatal("second access should hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestCacheEvictionLRU(t *testing.T) {
+	// Direct construction: 1 set, 2 ways.
+	c := NewCache(2, 2)
+	c.Access(10)
+	c.Access(20)
+	c.Access(10) // 10 is now MRU
+	c.Access(30) // evicts 20 (LRU)
+	if !c.Contains(10) {
+		t.Fatal("MRU entry evicted")
+	}
+	if c.Contains(20) {
+		t.Fatal("LRU entry survived")
+	}
+	if !c.Contains(30) {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestCacheEvictExplicit(t *testing.T) {
+	c := NewCache(16, 2)
+	c.Access(5)
+	if !c.Evict(5) {
+		t.Fatal("evict of resident key failed")
+	}
+	if c.Evict(5) {
+		t.Fatal("evict of absent key reported true")
+	}
+	if c.Contains(5) {
+		t.Fatal("key still resident after evict")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(16, 2)
+	for k := uint64(0); k < 8; k++ {
+		c.Access(k)
+	}
+	c.Flush()
+	for k := uint64(0); k < 8; k++ {
+		if c.Contains(k) {
+			t.Fatalf("key %d survived flush", k)
+		}
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	for _, g := range [][2]int{{0, 1}, {8, 3}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v should panic", g)
+				}
+			}()
+			NewCache(g[0], g[1])
+		}()
+	}
+}
+
+// Property: a working set no larger than the cache never misses after the
+// first pass (LRU within sets; splitmix distributes keys, so use a working
+// set within one set's ways via identical set mapping is not guaranteed —
+// instead verify global: ways*sets keys distinct, second pass miss count is
+// bounded by conflict misses < first pass misses).
+func TestCacheSecondPassProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := NewCache(256, 4)
+		keys := make([]uint64, 48)
+		x := seed | 1
+		for i := range keys {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			keys[i] = x
+		}
+		for _, k := range keys {
+			c.Access(k)
+		}
+		_, firstMisses := c.Stats()
+		for _, k := range keys {
+			c.Access(k)
+		}
+		_, totalMisses := c.Stats()
+		// 48 random keys in a 64-set x 4-way cache: mostly hits on the
+		// second pass. A set that drew 5+ keys thrashes cyclically under
+		// LRU, so allow a modest conflict budget.
+		return totalMisses-firstMisses <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"CX-5", "cx5", "ConnectX-5", "connectx 5"} {
+		p, ok := ProfileByName(name)
+		if !ok || p.Name != "ConnectX-5" {
+			t.Fatalf("ProfileByName(%q) = %v %v", name, p.Name, ok)
+		}
+	}
+	if _, ok := ProfileByName("cx7"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}
+
+func TestProfilesOrdering(t *testing.T) {
+	// Table III structure: line rate doubles each generation; newer NICs
+	// process faster.
+	if !(CX4.LineRateGbps < CX5.LineRateGbps && CX5.LineRateGbps < CX6.LineRateGbps) {
+		t.Fatal("line rates not increasing")
+	}
+	if !(CX6.TPUBase < CX5.TPUBase && CX5.TPUBase < CX4.TPUBase) {
+		t.Fatal("TPU base latency should shrink with generation")
+	}
+	if !(CX6.ComplexPPS > CX5.ComplexPPS && CX5.ComplexPPS > CX4.ComplexPPS) {
+		t.Fatal("complex capacity should grow with generation")
+	}
+}

@@ -1,0 +1,239 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSoloBandwidthSanity(t *testing.T) {
+	for _, p := range Profiles {
+		for _, op := range []Opcode{OpWrite, OpRead, OpSend} {
+			for _, size := range []int{64, 512, 4096, 65536} {
+				r := Solo(p, FlowSpec{Op: op, MsgBytes: size, QPNum: 4})
+				if r.GoodputGbps <= 0 {
+					t.Fatalf("%s %s %dB: non-positive solo bandwidth", p.Name, op, size)
+				}
+				if r.GoodputGbps > p.LineRateGbps {
+					t.Fatalf("%s %s %dB: solo %v exceeds line rate", p.Name, op, size, r.GoodputGbps)
+				}
+			}
+		}
+	}
+}
+
+func TestSoloLargeMessagesNearLineOrPCIe(t *testing.T) {
+	// 64 KB flows should saturate the binding interface (wire or host bus).
+	for _, p := range Profiles {
+		r := Solo(p, FlowSpec{Op: OpWrite, MsgBytes: 65536, QPNum: 8})
+		bound := p.LineRateGbps
+		if pcie := p.PCIeGBps * 8; pcie < bound {
+			bound = pcie
+		}
+		if r.GoodputGbps < 0.85*bound {
+			t.Fatalf("%s: 64KB write solo %.1fG, want >= 85%% of %.1fG", p.Name, r.GoodputGbps, bound)
+		}
+	}
+}
+
+// Key Finding 1a: a small competing write flow loses more than half its
+// bandwidth against a read flow (the read's response generation holds the
+// higher-priority Tx arbiter), while the read keeps the bulk of its own.
+func TestKF1SmallWriteLoses(t *testing.T) {
+	for _, p := range Profiles {
+		w := FlowSpec{Name: "w", Op: OpWrite, MsgBytes: 64, QPNum: 4, Client: 0}
+		r := FlowSpec{Name: "r", Op: OpRead, MsgBytes: 1024, QPNum: 2, Client: 1}
+		soloW, soloR := Solo(p, w), Solo(p, r)
+		res := Solve(p, []FlowSpec{w, r})
+		if loss := ReductionPct(soloW, res[0]); loss < 50 {
+			t.Errorf("%s: small write lost only %.0f%%, want > 50%%", p.Name, loss)
+		}
+		if lossR := ReductionPct(soloR, res[1]); lossR > 50 {
+			t.Errorf("%s: read lost %.0f%%, should keep the bulk", p.Name, lossR)
+		}
+	}
+}
+
+// Key Finding 1b (the reversal): once the write flow reaches ~512 B+, the
+// write keeps its bandwidth and the read drops 30-80+ %.
+func TestKF1LargeWriteWins(t *testing.T) {
+	for _, p := range Profiles {
+		w := FlowSpec{Name: "w", Op: OpWrite, MsgBytes: 2048, QPNum: 4, Client: 0}
+		r := FlowSpec{Name: "r", Op: OpRead, MsgBytes: 1024, QPNum: 2, Client: 1}
+		soloW, soloR := Solo(p, w), Solo(p, r)
+		res := Solve(p, []FlowSpec{w, r})
+		if loss := ReductionPct(soloW, res[0]); loss > 20 {
+			t.Errorf("%s: 2KB write lost %.0f%%, want <= 20%%", p.Name, loss)
+		}
+		lossR := ReductionPct(soloR, res[1])
+		if lossR < 30 {
+			t.Errorf("%s: read lost only %.0f%%, want >= 30%% (paper: 30-80%%)", p.Name, lossR)
+		}
+	}
+}
+
+// The write's fate reverses non-monotonically with its own message size.
+func TestKF1NonMonotonicReversal(t *testing.T) {
+	for _, p := range Profiles {
+		r := FlowSpec{Name: "r", Op: OpRead, MsgBytes: 1024, QPNum: 2, Client: 1}
+		lossAt := func(ws int) (wLoss, rLoss float64) {
+			w := FlowSpec{Name: "w", Op: OpWrite, MsgBytes: ws, QPNum: 4, Client: 0}
+			res := Solve(p, []FlowSpec{w, r})
+			return ReductionPct(Solo(p, w), res[0]), ReductionPct(Solo(p, r), res[1])
+		}
+		wSmall, rSmall := lossAt(64)
+		wBig, rBig := lossAt(4096)
+		if !(wSmall > wBig && rBig > rSmall) {
+			t.Errorf("%s: no reversal: small write loses %.0f%%/read %.0f%%; big write loses %.0f%%/read %.0f%%",
+				p.Name, wSmall, rSmall, wBig, rBig)
+		}
+	}
+}
+
+// Key Finding 2: contention between two small-write flows from different
+// clients activates the NoC boost; total traffic exceeds 200% of one solo
+// flow.
+func TestKF2AbnormalIncrement(t *testing.T) {
+	for _, p := range Profiles {
+		w1 := FlowSpec{Name: "w1", Op: OpWrite, MsgBytes: 64, QPNum: 4, Client: 0}
+		w2 := FlowSpec{Name: "w2", Op: OpWrite, MsgBytes: 64, QPNum: 4, Client: 1}
+		solo := Solo(p, w1)
+		res := Solve(p, []FlowSpec{w1, w2})
+		total := (res[0].GoodputGbps + res[1].GoodputGbps) / solo.GoodputGbps * 100
+		if total <= 200 {
+			t.Errorf("%s: aggregate under small-write contention = %.0f%% of solo, want > 200%%", p.Name, total)
+		}
+		// Each flow individually beats its solo bandwidth.
+		if res[0].GoodputGbps <= solo.GoodputGbps {
+			t.Errorf("%s: contended flow (%.2fG) did not exceed solo (%.2fG)", p.Name, res[0].GoodputGbps, solo.GoodputGbps)
+		}
+	}
+}
+
+// Key Finding 3: RDMA Write and reverse RDMA Read with identical parameters
+// interact differently with a Write competitor (Tx vs Rx arbiter priority).
+func TestKF3WriteVsReverseReadAsymmetry(t *testing.T) {
+	for _, p := range Profiles {
+		w := FlowSpec{Name: "w", Op: OpWrite, MsgBytes: 1024, QPNum: 2, Client: 0}
+		symm := Solve(p, []FlowSpec{w, {Name: "w2", Op: OpWrite, MsgBytes: 1024, QPNum: 2, Client: 1}})
+		asym := Solve(p, []FlowSpec{w, {Name: "rr", Op: OpRead, MsgBytes: 1024, QPNum: 2, Client: 1, FromServer: true}})
+		dSymm := symm[0].GoodputGbps
+		dAsym := asym[0].GoodputGbps
+		if dSymm == 0 || dAsym == 0 {
+			t.Fatalf("%s: zero allocations", p.Name)
+		}
+		rel := dAsym / dSymm
+		if rel > 0.99 && rel < 1.01 {
+			t.Errorf("%s: write-vs-write and write-vs-reverse-read identical (%.3f), want asymmetry", p.Name, rel)
+		}
+	}
+}
+
+// The covert priority channel's observable: a monitor read flow sees a
+// clearly different bandwidth when the sender blasts 2048 B writes (bit 0)
+// vs 128 B writes (bit 1).
+func TestPriorityChannelObservable(t *testing.T) {
+	for _, p := range Profiles {
+		mon := FlowSpec{Name: "mon", Op: OpRead, MsgBytes: 1024, QPNum: 1, Client: 1}
+		bit1 := Solve(p, []FlowSpec{{Name: "tx", Op: OpWrite, MsgBytes: 128, QPNum: 4, Client: 0}, mon})[1]
+		bit0 := Solve(p, []FlowSpec{{Name: "tx", Op: OpWrite, MsgBytes: 2048, QPNum: 4, Client: 0}, mon})[1]
+		gap := (bit1.GoodputGbps - bit0.GoodputGbps) / bit1.GoodputGbps
+		if gap < 0.15 {
+			t.Errorf("%s: bit0/bit1 monitor gap only %.0f%%, want >= 15%%", p.Name, gap*100)
+		}
+	}
+}
+
+func TestSolveEmptyAndSingle(t *testing.T) {
+	if Solve(CX4, nil) != nil {
+		t.Fatal("empty solve should return nil")
+	}
+	r := Solve(CX4, []FlowSpec{{Op: OpRead, MsgBytes: 0, QPNum: 0}})
+	if len(r) != 1 {
+		t.Fatal("single-flow solve should return one result")
+	}
+}
+
+// Property: allocations never exceed caps or produce negative rates, and
+// adding a competitor never increases... (it can, via NoC boost!) — so only
+// assert bounds, not monotonicity.
+func TestSolveBoundsProperty(t *testing.T) {
+	ops := []Opcode{OpWrite, OpRead, OpSend, OpAtomicFAA}
+	f := func(sizes []uint16, qps []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 6 {
+			sizes = sizes[:6]
+		}
+		flows := make([]FlowSpec, len(sizes))
+		for i, s := range sizes {
+			q := 1
+			if len(qps) > 0 {
+				q = int(qps[i%len(qps)])%8 + 1
+			}
+			flows[i] = FlowSpec{
+				Op:       ops[i%len(ops)],
+				MsgBytes: int(s)%65536 + 1,
+				QPNum:    q,
+				Client:   i % 3,
+			}
+		}
+		res := Solve(CX5, flows)
+		for i, r := range res {
+			if r.RateMpps < 0 || r.GoodputGbps < 0 {
+				return false
+			}
+			if r.RateMpps > requesterCap(CX5, flows[i])+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	if got := ReductionPct(FlowResult{GoodputGbps: 10}, FlowResult{GoodputGbps: 5}); got != 50 {
+		t.Fatalf("ReductionPct = %v", got)
+	}
+	if got := ReductionPct(FlowResult{}, FlowResult{GoodputGbps: 5}); got != 0 {
+		t.Fatalf("zero solo should give 0, got %v", got)
+	}
+}
+
+// Property: adding QPs to a solo flow never reduces its bandwidth, and the
+// allocation is deterministic.
+func TestSoloMonotoneInQPsProperty(t *testing.T) {
+	f := func(sz uint16, q uint8) bool {
+		size := int(sz)%8192 + 1
+		qps := int(q)%8 + 1
+		a := Solo(CX5, FlowSpec{Op: OpRead, MsgBytes: size, QPNum: qps})
+		b := Solo(CX5, FlowSpec{Op: OpRead, MsgBytes: size, QPNum: qps + 1})
+		return b.GoodputGbps >= a.GoodputGbps-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a contended flow never exceeds the NoC-boosted complex would
+// allow — concretely, never more than 2.5x its solo bandwidth, and never
+// negative.
+func TestContentionBoundedProperty(t *testing.T) {
+	ops := []Opcode{OpWrite, OpRead, OpSend}
+	f := func(sa, sb uint16, qa, qb uint8) bool {
+		a := FlowSpec{Op: ops[int(qa)%3], MsgBytes: int(sa)%16384 + 1, QPNum: int(qa)%8 + 1, Client: 0}
+		bFlow := FlowSpec{Op: ops[int(qb)%3], MsgBytes: int(sb)%16384 + 1, QPNum: int(qb)%8 + 1, Client: 1}
+		soloA := Solo(CX4, a)
+		res := Solve(CX4, []FlowSpec{a, bFlow})
+		if res[0].GoodputGbps < 0 {
+			return false
+		}
+		return res[0].GoodputGbps <= soloA.GoodputGbps*2.5+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

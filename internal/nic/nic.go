@@ -1,0 +1,706 @@
+package nic
+
+import (
+	"fmt"
+
+	"github.com/thu-has/ragnar/internal/fabric"
+	"github.com/thu-has/ragnar/internal/host"
+	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/wire"
+)
+
+// Opcode is an RDMA operation code (the Grain-II parameter).
+type Opcode int
+
+// Supported opcodes.
+const (
+	OpWrite Opcode = iota
+	OpRead
+	OpSend
+	OpAtomicFAA
+	OpAtomicCAS
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpWrite:
+		return "WRITE"
+	case OpRead:
+		return "READ"
+	case OpSend:
+		return "SEND"
+	case OpAtomicFAA:
+		return "ATOMIC_FAA"
+	case OpAtomicCAS:
+		return "ATOMIC_CAS"
+	}
+	return fmt.Sprintf("OP(%d)", int(o))
+}
+
+// Status reports the outcome of a work request.
+type Status int
+
+// Completion statuses.
+const (
+	StatusOK Status = iota
+	StatusRemoteAccessError
+	StatusBadQP
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusRemoteAccessError:
+		return "REMOTE_ACCESS_ERROR"
+	case StatusBadQP:
+		return "BAD_QP"
+	}
+	return fmt.Sprintf("STATUS(%d)", int(s))
+}
+
+// Message is the unit exchanged between NICs over the fabric. A request
+// carries the operation; a response carries the matching Seq with IsResp
+// set.
+type Message struct {
+	Op         Opcode
+	SrcQPN     uint32
+	DstQPN     uint32
+	RKey       uint32
+	RemoteAddr uint64
+	Length     int
+	Data       []byte
+	Seq        uint64
+	IsResp     bool
+	Status     Status
+	// Atomic operands.
+	CompareAdd uint64
+	Swap       uint64
+	TC         int
+}
+
+// WQE is a posted work queue element.
+type WQE struct {
+	WRID       uint64
+	Op         Opcode
+	LocalData  []byte // payload for WRITE/SEND; receive buffer for READ
+	RemoteKey  uint32
+	RemoteAddr uint64
+	Length     int
+	TC         int
+	CompareAdd uint64
+	Swap       uint64
+}
+
+// Completion is delivered to the verbs layer when a WQE finishes.
+type Completion struct {
+	QPN      uint32
+	WRID     uint64
+	Op       Opcode
+	Status   Status
+	Bytes    int
+	Result   uint64 // original value for atomics
+	PostTime sim.Time
+	DoneTime sim.Time
+}
+
+// RecvEvent is delivered when an inbound SEND lands in a posted receive
+// buffer or an inbound WRITE completes (for apps that watch memory).
+type RecvEvent struct {
+	QPN    uint32
+	Op     Opcode
+	Bytes  int
+	Data   []byte
+	SrcQPN uint32
+}
+
+// MRInfo registers a memory region with the responder pipeline.
+type MRInfo struct {
+	Key         uint32
+	Base        uint64
+	Size        uint64
+	Region      *host.Region
+	PageSize    uint64
+	RemoteRead  bool
+	RemoteWrite bool
+	Atomic      bool
+}
+
+type qpState struct {
+	qpn        uint32
+	peer       *NIC
+	peerQPN    uint32
+	onComplete func(Completion)
+	onRecv     func(RecvEvent)
+	recvQueue  [][]byte
+	posted     uint64
+	completed  uint64
+}
+
+type pending struct {
+	wqe      *WQE
+	qpn      uint32
+	postTime sim.Time
+}
+
+// Counters aggregates the NIC's ethtool-visible and HARMONIC-visible
+// telemetry: Grain-I (per-TC), Grain-II (per-opcode) and Grain-III
+// (per-QP/MR) counts.
+type Counters struct {
+	TxMsgs     map[Opcode]uint64
+	RxMsgs     map[Opcode]uint64
+	TxBytes    uint64
+	RxBytes    uint64
+	TxBytesTC  [8]uint64 // Grain-I: per-traffic-class egress bytes
+	RxBytesTC  [8]uint64 // Grain-I: per-traffic-class ingress bytes
+	PerQPMsgs  map[uint32]uint64
+	PerMRBytes map[uint32]uint64
+	Responses  uint64
+	NAKs       uint64
+	// PFCPauses counts per-TC priority-flow-control pause events: the
+	// egress queue for a class exceeded the XOFF threshold. This is the
+	// native Grain-I signal the paper notes "modern RNIC provides ...
+	// to detect and defend Grain-I attacks easily".
+	PFCPauses [8]uint64
+}
+
+func newCounters() Counters {
+	return Counters{
+		TxMsgs:     make(map[Opcode]uint64),
+		RxMsgs:     make(map[Opcode]uint64),
+		PerQPMsgs:  make(map[uint32]uint64),
+		PerMRBytes: make(map[uint32]uint64),
+	}
+}
+
+// NIC is one simulated RDMA adapter plugged into a host and an egress link.
+type NIC struct {
+	Name string
+
+	eng  *sim.Engine
+	prof Profile
+	hst  *host.Host
+	numa int // NUMA node the NIC attaches to
+
+	links map[*NIC]*fabric.Link // egress link per peer NIC
+
+	tpu     *TPU
+	tpuSrv  *sim.Server // the TPU pipeline serialises translations
+	qpc     *Cache
+	hostDMA *sim.Server
+	txPU    *sim.Server
+	rxPU    *sim.Server
+	egress  *sim.Server // priority: class 0 = requester ring, 1 = responder ring
+
+	qps     map[uint32]*qpState
+	mrs     map[uint32]*MRInfo
+	pend    map[uint64]*pending
+	nextSeq uint64
+
+	counters Counters
+
+	// ResponderDelay is injected by defenses (noise mitigation) on every
+	// responder-side message; zero normally.
+	ResponderDelay func() sim.Duration
+
+	// Tap, when set with EncodeFrames on, receives every departing frame
+	// fully encapsulated (Ethernet+IPv4+UDP+RoCEv2) at its departure time —
+	// the hook the pcap exporter uses.
+	Tap func(at sim.Time, frame []byte)
+	ip  [4]byte
+}
+
+// New creates a NIC on a host. Call AddPeerLink before any traffic flows.
+var nicSeq uint32
+
+func New(eng *sim.Engine, name string, p Profile, h *host.Host, numa int) *NIC {
+	nicSeq++
+	n := &NIC{
+		Name: name, eng: eng, prof: p, hst: h, numa: numa,
+		tpu:      NewTPU(p, eng.Rand()),
+		qpc:      NewCache(p.QPCCacheEntries, p.QPCCacheWays),
+		links:    make(map[*NIC]*fabric.Link),
+		qps:      make(map[uint32]*qpState),
+		mrs:      make(map[uint32]*MRInfo),
+		pend:     make(map[uint64]*pending),
+		counters: newCounters(),
+	}
+	n.ip = [4]byte{10, 0, byte(nicSeq >> 8), byte(nicSeq)}
+	// The DMA engine holds several outstanding tags; the TPU is a single
+	// in-order translation pipeline — that is what makes the remote-address
+	// offset the first-order term of ULI (Key Finding 4).
+	n.hostDMA = sim.NewServer(eng, name+"/dma", 4)
+	n.tpuSrv = sim.NewServer(eng, name+"/tpu", 1)
+	n.txPU = sim.NewServer(eng, name+"/txpu", p.RequesterSlots)
+	n.rxPU = sim.NewServer(eng, name+"/rxpu", p.ResponderSlots)
+	n.egress = sim.NewPriorityServer(eng, name+"/egress", 1)
+	return n
+}
+
+// Profile returns the adapter profile.
+func (n *NIC) Profile() Profile { return n.prof }
+
+// TPU exposes the translation unit (reverse-engineering benchmarks inspect
+// its counters; Pythia needs its MTT).
+func (n *NIC) TPU() *TPU { return n.tpu }
+
+// Counters returns a snapshot view of the NIC counters.
+func (n *NIC) Counters() *Counters { return &n.counters }
+
+// AddPeerLink attaches the transmit link toward a peer NIC. The verbs layer
+// calls this when wiring a topology.
+func (n *NIC) AddPeerLink(peer *NIC, l *fabric.Link) { n.links[peer] = l }
+
+// CreateQP registers a queue pair. onComplete receives requester
+// completions; onRecv receives inbound SEND deliveries (may be nil).
+func (n *NIC) CreateQP(qpn uint32, onComplete func(Completion), onRecv func(RecvEvent)) error {
+	if _, dup := n.qps[qpn]; dup {
+		return fmt.Errorf("nic %s: QP %d already exists", n.Name, qpn)
+	}
+	n.qps[qpn] = &qpState{qpn: qpn, onComplete: onComplete, onRecv: onRecv}
+	return nil
+}
+
+// ConnectQP binds a local QP to a peer NIC and QPN (RC connection).
+func (n *NIC) ConnectQP(qpn uint32, peer *NIC, peerQPN uint32) error {
+	qp, ok := n.qps[qpn]
+	if !ok {
+		return fmt.Errorf("nic %s: unknown QP %d", n.Name, qpn)
+	}
+	qp.peer = peer
+	qp.peerQPN = peerQPN
+	return nil
+}
+
+// RegisterMR makes a region remotely accessible under key.
+func (n *NIC) RegisterMR(info MRInfo) error {
+	if _, dup := n.mrs[info.Key]; dup {
+		return fmt.Errorf("nic %s: MR key %d already registered", n.Name, info.Key)
+	}
+	if info.PageSize == 0 {
+		info.PageSize = uint64(host.Page2M)
+	}
+	cp := info
+	n.mrs[info.Key] = &cp
+	return nil
+}
+
+// DeregisterMR removes a region.
+func (n *NIC) DeregisterMR(key uint32) { delete(n.mrs, key) }
+
+// PostRecv queues a host buffer for inbound SENDs on a QP.
+func (n *NIC) PostRecv(qpn uint32, buf []byte) error {
+	qp, ok := n.qps[qpn]
+	if !ok {
+		return fmt.Errorf("nic %s: unknown QP %d", n.Name, qpn)
+	}
+	qp.recvQueue = append(qp.recvQueue, buf)
+	return nil
+}
+
+// wireBytes returns the on-wire size of a request message.
+func (n *NIC) wireBytes(m *Message) int {
+	switch {
+	case m.IsResp && m.Op == OpRead:
+		return n.packetizedBytes(m.Length)
+	case m.IsResp:
+		return AckBytes
+	case m.Op == OpRead:
+		return ReadReqBytes
+	case m.Op == OpAtomicFAA || m.Op == OpAtomicCAS:
+		return WireHeaderBytes + 28
+	default: // WRITE / SEND carry payload
+		return n.packetizedBytes(m.Length)
+	}
+}
+
+// packetizedBytes charges per-MTU header overhead for a payload.
+func (n *NIC) packetizedBytes(payload int) int {
+	pkts := (payload + n.prof.MTU - 1) / n.prof.MTU
+	if pkts < 1 {
+		pkts = 1
+	}
+	return payload + pkts*WireHeaderBytes
+}
+
+// dmaTransferTime is the PCIe occupancy of moving the given bytes.
+func (n *NIC) dmaTransferTime(bytes int) sim.Duration {
+	if bytes <= 0 {
+		bytes = 16
+	}
+	// GB/s == bytes/ns; add a per-transaction TLP overhead.
+	return sim.Duration(float64(bytes)/n.prof.PCIeGBps*float64(sim.Nanosecond)) + 8*sim.Nanosecond
+}
+
+// dma runs a host-memory DMA: occupies the engine for the transfer time,
+// then completes after the PCIe and memory latency.
+func (n *NIC) dma(bytes int, reg *host.Region, done func()) {
+	memLat := n.hst.MemAccessLatency(reg, n.numa)
+	n.hostDMA.Submit(n.dmaTransferTime(bytes), 0, func() {
+		n.eng.After(n.prof.PCIeLatency+memLat, done)
+	})
+}
+
+// PostSend submits a WQE on a QP. Completion (success or failure) arrives
+// through the QP's completion callback.
+func (n *NIC) PostSend(qpn uint32, wqe *WQE) error {
+	qp, ok := n.qps[qpn]
+	if !ok {
+		return fmt.Errorf("nic %s: unknown QP %d", n.Name, qpn)
+	}
+	if qp.peer == nil {
+		return fmt.Errorf("nic %s: QP %d not connected", n.Name, qpn)
+	}
+	if wqe.TC < 0 || wqe.TC >= fabric.NumTCs {
+		return fmt.Errorf("nic %s: invalid TC %d", n.Name, wqe.TC)
+	}
+	qp.posted++
+	n.counters.TxMsgs[wqe.Op]++
+	n.counters.PerQPMsgs[qpn]++
+	post := n.eng.Now()
+
+	// Doorbell, SQE fetch (inline payload rides along), requester PU.
+	fetchBytes := 64
+	inline := wqe.Op == OpWrite && wqe.Length <= n.prof.InlineMax
+	if inline {
+		fetchBytes += wqe.Length
+	}
+	n.eng.After(n.prof.DoorbellTime, func() {
+		n.hostDMA.Submit(n.dmaTransferTime(fetchBytes)+n.prof.SQEFetchTime, 0, func() {
+			n.txPU.Submit(n.prof.TxPUTime, 0, func() {
+				if wqe.Op == OpWrite && !inline || wqe.Op == OpSend && wqe.Length > n.prof.InlineMax {
+					n.dma(wqe.Length, nil, func() { n.launch(qp, wqe, post) })
+					return
+				}
+				n.launch(qp, wqe, post)
+			})
+		})
+	})
+	return nil
+}
+
+// launch builds the request message and hands it to the requester egress
+// ring (class 0: the logical Tx arbiter outranks the responder ring).
+func (n *NIC) launch(qp *qpState, wqe *WQE, post sim.Time) {
+	seq := n.nextSeq
+	n.nextSeq++
+	m := &Message{
+		Op: wqe.Op, SrcQPN: qp.qpn, DstQPN: qp.peerQPN,
+		RKey: wqe.RemoteKey, RemoteAddr: wqe.RemoteAddr, Length: wqe.Length,
+		Seq: seq, TC: wqe.TC, CompareAdd: wqe.CompareAdd, Swap: wqe.Swap,
+	}
+	if wqe.Op == OpWrite || wqe.Op == OpSend {
+		m.Data = wqe.LocalData
+	}
+	n.pend[seq] = &pending{wqe: wqe, qpn: qp.qpn, postTime: post}
+	n.transmit(qp.peer, m, 0)
+}
+
+// pfcXOFF is the ingress backlog (requests queued at the responder
+// pipeline) past which a PFC pause event is recorded for the traffic class —
+// the point at which a real lossless fabric would send PRIO pause frames.
+const pfcXOFF = 32
+
+// transmit serialises a message through the egress arbiter onto the wire.
+// ring 0 is the requester (Tx arbiter), ring 1 the responder (Rx arbiter);
+// strict priority between them is Key Finding 3.
+func (n *NIC) transmit(dst *NIC, m *Message, ring int) {
+	bytes := n.wireBytes(m)
+	link := n.links[dst]
+	ser := sim.Duration(0)
+	if link != nil {
+		ser = link.SerializationDelay(bytes)
+	}
+	service := n.prof.EgressArbTime
+	if ser > service {
+		service = ser
+	}
+	n.egress.Submit(service, ring, func() {
+		n.counters.TxBytes += uint64(bytes)
+		n.counters.TxBytesTC[m.TC&7] += uint64(bytes)
+		if link == nil {
+			// Loopback fallback for single-NIC tests.
+			n.eng.After(sim.Nanosecond, func() { dst.HandleIngress(m) })
+			return
+		}
+		var frames [][]byte
+		if EncodeFrames {
+			var err error
+			if frames, err = encodeSegments(m, n.prof.MTU); err != nil {
+				panic(fmt.Sprintf("nic %s: frame encode: %v", n.Name, err))
+			}
+			if n.Tap != nil {
+				for _, f := range frames {
+					n.Tap(n.eng.Now(), wire.Encapsulate(f, n.ip, dst.ip, 49152+uint16(m.SrcQPN&0x3fff)))
+				}
+			}
+		}
+		if err := link.Send(fabric.Packet{TC: m.TC, Bytes: bytes, Payload: envelope{dst: dst, msg: m, frames: frames}}); err != nil {
+			// Tail drop: reliable transport would retransmit; the DES
+			// experiments never saturate queues, so surface loudly.
+			panic(fmt.Sprintf("nic %s: wire drop: %v", n.Name, err))
+		}
+	})
+}
+
+// envelope routes a fabric packet to the destination NIC. When wire
+// fidelity is on it also carries the message's real RoCEv2 encoding, which
+// the receiver parses and cross-checks.
+type envelope struct {
+	dst    *NIC
+	msg    *Message
+	frames [][]byte
+}
+
+// Deliver is installed as the fabric sink: it dispatches an arriving packet
+// to its destination NIC's ingress pipeline.
+func Deliver(p fabric.Packet) {
+	env, ok := p.Payload.(envelope)
+	if !ok {
+		panic("nic: foreign payload on fabric")
+	}
+	if env.frames != nil {
+		// Wire fidelity: the frames must decode back to exactly the message
+		// being delivered.
+		if err := verifySegments(env.frames, env.msg); err != nil {
+			panic("nic: wire/simulation divergence: " + err.Error())
+		}
+	}
+	env.dst.HandleIngress(env.msg)
+}
+
+// HandleIngress processes one arriving message (request or response).
+func (n *NIC) HandleIngress(m *Message) {
+	n.counters.RxBytes += uint64(n.wireBytes(m))
+	n.counters.RxBytesTC[m.TC&7] += uint64(n.wireBytes(m))
+	if m.IsResp {
+		n.handleResponse(m)
+		return
+	}
+	n.handleRequest(m)
+}
+
+func (n *NIC) handleRequest(m *Message) {
+	n.counters.RxMsgs[m.Op]++
+	if n.rxPU.QueueLen()+n.tpuSrv.QueueLen() >= pfcXOFF {
+		// Receive backlog beyond the XOFF threshold: a lossless fabric
+		// would pause this priority now. Grain-I defenses key off this.
+		n.counters.PFCPauses[m.TC&7]++
+	}
+	pkts := (m.Length + n.prof.MTU - 1) / n.prof.MTU
+	if pkts < 1 {
+		pkts = 1
+	}
+	service := n.prof.RxPUTime * sim.Duration(pkts)
+	n.rxPU.Submit(service, 0, func() {
+		extra := sim.Duration(0)
+		if n.ResponderDelay != nil {
+			extra = n.ResponderDelay()
+		}
+		// QPC lookup: a cold QP context costs an ICM fetch.
+		if !n.qpc.Access(uint64(m.DstQPN)) {
+			extra += n.prof.QPCMissPenalty
+		}
+		qp := n.qps[m.DstQPN]
+		if qp == nil {
+			n.eng.After(extra, func() { n.respond(m, StatusBadQP, nil, 0) })
+			return
+		}
+		switch m.Op {
+		case OpSend:
+			n.eng.After(extra, func() { n.completeSend(qp, m) })
+		case OpWrite, OpRead, OpAtomicFAA, OpAtomicCAS:
+			n.eng.After(extra, func() { n.oneSided(qp, m) })
+		default:
+			n.eng.After(extra, func() { n.respond(m, StatusRemoteAccessError, nil, 0) })
+		}
+	})
+}
+
+// completeSend lands an inbound SEND in the QP's receive queue.
+func (n *NIC) completeSend(qp *qpState, m *Message) {
+	n.dma(m.Length, nil, func() {
+		var buf []byte
+		if len(qp.recvQueue) > 0 {
+			buf = qp.recvQueue[0]
+			qp.recvQueue = qp.recvQueue[1:]
+			copy(buf, m.Data)
+		}
+		if qp.onRecv != nil {
+			qp.onRecv(RecvEvent{QPN: qp.qpn, Op: OpSend, Bytes: m.Length, Data: m.Data, SrcQPN: m.SrcQPN})
+		}
+		n.respond(m, StatusOK, nil, 0)
+	})
+}
+
+// oneSided executes WRITE/READ/ATOMIC against a registered MR through the
+// TPU and host DMA.
+func (n *NIC) oneSided(qp *qpState, m *Message) {
+	mr := n.mrs[m.RKey]
+	if mr == nil || m.RemoteAddr < mr.Base || m.RemoteAddr+uint64(max(m.Length, 1)) > mr.Base+mr.Size {
+		n.respond(m, StatusRemoteAccessError, nil, 0)
+		return
+	}
+	switch m.Op {
+	case OpRead:
+		if !mr.RemoteRead {
+			n.respond(m, StatusRemoteAccessError, nil, 0)
+			return
+		}
+	case OpWrite:
+		if !mr.RemoteWrite {
+			n.respond(m, StatusRemoteAccessError, nil, 0)
+			return
+		}
+	default:
+		if !mr.Atomic {
+			n.respond(m, StatusRemoteAccessError, nil, 0)
+			return
+		}
+	}
+	offset := m.RemoteAddr - mr.Base
+	n.counters.PerMRBytes[mr.Key] += uint64(m.Length)
+	tpuTime := n.tpu.Translate(Request{
+		MRKey: mr.Key, Offset: offset, Length: m.Length,
+		MRBase: mr.Base, PageSize: mr.PageSize,
+	})
+	n.tpuSrv.Submit(tpuTime, 0, func() {
+		switch m.Op {
+		case OpWrite:
+			n.dma(m.Length, mr.Region, func() {
+				if mr.Region != nil && m.Data != nil {
+					if err := mr.Region.WriteAt(offset, m.Data[:min(len(m.Data), m.Length)]); err != nil {
+						n.respond(m, StatusRemoteAccessError, nil, 0)
+						return
+					}
+				}
+				if qp.onRecv != nil {
+					qp.onRecv(RecvEvent{QPN: qp.qpn, Op: OpWrite, Bytes: m.Length, SrcQPN: m.SrcQPN})
+				}
+				n.respond(m, StatusOK, nil, 0)
+			})
+		case OpRead:
+			n.dma(m.Length, mr.Region, func() {
+				var data []byte
+				if mr.Region != nil {
+					data = make([]byte, m.Length)
+					if err := mr.Region.ReadAt(offset, data); err != nil {
+						n.respond(m, StatusRemoteAccessError, nil, 0)
+						return
+					}
+				}
+				n.respond(m, StatusOK, data, 0)
+			})
+		case OpAtomicFAA, OpAtomicCAS:
+			n.eng.After(n.prof.AtomicExtra, func() {
+				n.dma(8, mr.Region, func() {
+					var orig uint64
+					if mr.Region != nil && offset+8 <= mr.Size {
+						b := make([]byte, 8)
+						mr.Region.ReadAt(offset, b)
+						orig = le64(b)
+						var newVal uint64
+						if m.Op == OpAtomicFAA {
+							newVal = orig + m.CompareAdd
+						} else if orig == m.CompareAdd {
+							newVal = m.Swap
+						} else {
+							newVal = orig
+						}
+						put64(b, newVal)
+						mr.Region.WriteAt(offset, b)
+					}
+					n.respond(m, StatusOK, nil, orig)
+				})
+			})
+		}
+	})
+}
+
+// respond sends a response back through the responder ring (class 1).
+func (n *NIC) respond(req *Message, st Status, data []byte, atomicOrig uint64) {
+	n.counters.Responses++
+	if st != StatusOK {
+		n.counters.NAKs++
+	}
+	resp := &Message{
+		Op: req.Op, SrcQPN: req.DstQPN, DstQPN: req.SrcQPN,
+		Seq: req.Seq, IsResp: true, Status: st, TC: req.TC,
+		Length: 0, Data: data, CompareAdd: atomicOrig,
+	}
+	if req.Op == OpRead && st == StatusOK {
+		resp.Length = req.Length
+	}
+	// Find the requester NIC: the source QP's peer pointer on our side.
+	qp := n.qps[req.DstQPN]
+	if qp == nil || qp.peer == nil {
+		// Request targeted an unknown QP: we cannot route a NAK without a
+		// reverse path; drop (matches RC behaviour of unroutable packets).
+		return
+	}
+	n.transmit(qp.peer, resp, 1)
+}
+
+// handleResponse finishes the pending WQE on the requester.
+func (n *NIC) handleResponse(m *Message) {
+	p := n.pend[m.Seq]
+	if p == nil {
+		return // duplicate/stale
+	}
+	delete(n.pend, m.Seq)
+	qp := n.qps[p.qpn]
+	n.rxPU.Submit(n.prof.RxPUTime, 0, func() {
+		finish := func() {
+			n.hostDMA.Submit(n.dmaTransferTime(32)+n.prof.CQEWriteTime, 0, func() {
+				if qp != nil {
+					qp.completed++
+					if qp.onComplete != nil {
+						qp.onComplete(Completion{
+							QPN: p.qpn, WRID: p.wqe.WRID, Op: p.wqe.Op,
+							Status: m.Status, Bytes: p.wqe.Length, Result: m.CompareAdd,
+							PostTime: p.postTime, DoneTime: n.eng.Now(),
+						})
+					}
+				}
+			})
+		}
+		if p.wqe.Op == OpRead && m.Status == StatusOK {
+			// DMA the read payload into the host buffer.
+			n.dma(p.wqe.Length, nil, func() {
+				if p.wqe.LocalData != nil && m.Data != nil {
+					copy(p.wqe.LocalData, m.Data)
+				}
+				finish()
+			})
+			return
+		}
+		finish()
+	})
+}
+
+// Outstanding reports requester WQEs in flight.
+func (n *NIC) Outstanding() int { return len(n.pend) }
+
+// QPC exposes the QP context cache.
+func (n *NIC) QPC() *Cache { return n.qpc }
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

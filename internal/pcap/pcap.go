@@ -1,0 +1,58 @@
+// Package pcap writes classic libpcap capture files (the format Wireshark
+// and tcpdump read). Combined with the wire package's byte-exact RoCEv2
+// framing, any simulated traffic — including a covert channel in flight —
+// can be exported and inspected with standard network tooling.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+// LinkTypeEthernet is the pcap link type for Ethernet frames.
+const LinkTypeEthernet = 1
+
+// Writer emits one capture file.
+type Writer struct {
+	w       io.Writer
+	packets int
+}
+
+// NewWriter writes the global pcap header (microsecond timestamps,
+// little-endian magic) and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 0xa1b2c3d4) // magic
+	binary.LittleEndian.PutUint16(hdr[4:], 2)          // major
+	binary.LittleEndian.PutUint16(hdr[6:], 4)          // minor
+	binary.LittleEndian.PutUint32(hdr[16:], 65535)     // snaplen
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: header: %w", err)
+	}
+	return &Writer{w: w}, nil
+}
+
+// WritePacket records one frame at the given virtual capture time.
+func (pw *Writer) WritePacket(at sim.Time, frame []byte) error {
+	var hdr [16]byte
+	usec := uint64(at) / uint64(sim.Microsecond)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(usec/1e6))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(usec%1e6))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(frame)))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcap: packet header: %w", err)
+	}
+	if _, err := pw.w.Write(frame); err != nil {
+		return fmt.Errorf("pcap: packet body: %w", err)
+	}
+	pw.packets++
+	return nil
+}
+
+// Packets reports how many packets have been written.
+func (pw *Writer) Packets() int { return pw.packets }

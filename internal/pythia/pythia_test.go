@@ -1,0 +1,85 @@
+package pythia
+
+import (
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/bitstream"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/stats"
+)
+
+func TestEvictionSetMining(t *testing.T) {
+	ch, err := New(nic.CX5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ways := ch.Cluster.Server.NIC().TPU().MTT().Ways()
+	if ch.EvictionSetSize() < ways {
+		t.Fatalf("eviction set %d smaller than associativity %d", ch.EvictionSetSize(), ways)
+	}
+}
+
+func TestTransmitRoundTrip(t *testing.T) {
+	for _, p := range nic.Profiles {
+		ch, err := New(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := bitstream.MustParseBits("1011001110001011")
+		run, err := ch.Transmit(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Result.ErrorRate > 0.10 {
+			t.Errorf("%s: pythia error rate %.1f%%", p.Name, run.Result.ErrorRate*100)
+		}
+		// Cold probes must visibly exceed warm ones by about the ICM miss
+		// penalty.
+		if len(run.ColdNanos) == 0 || len(run.WarmNanos) == 0 {
+			t.Fatalf("%s: missing cold (%d) or warm (%d) probes", p.Name, len(run.ColdNanos), len(run.WarmNanos))
+		}
+		gap := stats.Mean(run.ColdNanos) - stats.Mean(run.WarmNanos)
+		if gap < p.MTTMissPenalty.Nanoseconds()*0.5 {
+			t.Errorf("%s: cold-warm gap %.0f ns below half the miss penalty", p.Name, gap)
+		}
+	}
+}
+
+func TestBandwidthNearPublished(t *testing.T) {
+	// Pythia's published covert rate on CX-5 is ~20 Kbps.
+	ch, err := New(nic.CX5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bps := ch.BandwidthBps()
+	if bps < 15000 || bps > 25000 {
+		t.Fatalf("pythia bandwidth %.0f bps, want ~20 Kbps", bps)
+	}
+}
+
+func TestTransmitEmpty(t *testing.T) {
+	ch, err := New(nic.CX4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Transmit(nil); err == nil {
+		t.Fatal("empty bitstream should error")
+	}
+}
+
+func TestRepeatedBitsStateReset(t *testing.T) {
+	// Long runs of 1s and 0s must decode correctly: the probe re-installs
+	// the entry each symbol, so persistence does not smear across symbols.
+	ch, err := New(nic.CX6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bitstream.MustParseBits("1111111100000000")
+	run, err := ch.Transmit(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.ErrorRate != 0 {
+		t.Fatalf("run-length decode error %.1f%%: got %s", run.Result.ErrorRate*100, run.Decoded)
+	}
+}

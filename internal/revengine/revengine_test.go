@@ -1,0 +1,172 @@
+package revengine
+
+import (
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/nic"
+)
+
+func TestCategorize(t *testing.T) {
+	cases := []struct {
+		pct  float64
+		want Reduction
+	}{
+		{-20, AbnormalIncrease},
+		{0, ReductionNone},
+		{5, ReductionNone},
+		{25, ReductionSlight},
+		{55, ReductionHalf},
+		{85, ReductionSevere},
+	}
+	for _, c := range cases {
+		if got := Categorize(c.pct); got != c.want {
+			t.Errorf("Categorize(%v) = %v, want %v", c.pct, got, c.want)
+		}
+	}
+}
+
+func TestDefaultSweepSpaceSize(t *testing.T) {
+	space := DefaultSweepSpace()
+	if space.Size() < 6000 {
+		t.Fatalf("sweep space has %d combos, paper ran over 6000", space.Size())
+	}
+}
+
+func TestPrioritySweepSubset(t *testing.T) {
+	space := SweepSpace{
+		OpPairs: [][2]nic.Opcode{{nic.OpWrite, nic.OpRead}},
+		SizesA:  []int{64, 2048},
+		SizesB:  []int{1024},
+		QPsA:    []int{4},
+		QPsB:    []int{2},
+	}
+	cells := PrioritySweep(nic.CX4, space)
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	byInducerSize := map[int]SweepCell{}
+	for _, c := range cells {
+		byInducerSize[c.Inducer.MsgBytes] = c
+		if c.SoloInducer <= 0 || c.SoloIndicator <= 0 {
+			t.Fatalf("cell missing solo bandwidth: %+v", c)
+		}
+	}
+	// The Figure 4 blue-box structure: small write loses hard, large write
+	// reverses it onto the read.
+	small, large := byInducerSize[64], byInducerSize[2048]
+	if small.InducerLossPct < 40 {
+		t.Errorf("small write inducer lost %.0f%%, want heavy loss", small.InducerLossPct)
+	}
+	if large.IndicatorLossPct < 30 {
+		t.Errorf("read vs 2KB write lost %.0f%%, want >= 30%%", large.IndicatorLossPct)
+	}
+	if large.InducerLossPct > 20 {
+		t.Errorf("2KB write lost %.0f%%, want to keep its bandwidth", large.InducerLossPct)
+	}
+}
+
+func TestPrioritySweepFindsAbnormalIncrease(t *testing.T) {
+	// Key Finding 2 must appear as blue cells in the write-vs-write block.
+	space := SweepSpace{
+		OpPairs: [][2]nic.Opcode{{nic.OpWrite, nic.OpWrite}},
+		SizesA:  []int{64},
+		SizesB:  []int{64},
+		QPsA:    []int{4},
+		QPsB:    []int{4},
+	}
+	cells := PrioritySweep(nic.CX4, space)
+	found := false
+	for _, c := range cells {
+		if c.IndicatorCat == AbnormalIncrease && c.TotalPctOfSolo > 200 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no abnormal-increase cell in small-write block")
+	}
+}
+
+func TestAbsOffsetSweepStructure(t *testing.T) {
+	// Key Finding 4: 64 B-aligned offsets show lower ULI than unaligned
+	// neighbours; 8 B-aligned sit between.
+	offsets := []uint64{61, 63, 64, 65, 67, 128, 129, 136, 192}
+	points, err := AbsOffsetSweep(nic.CX4, 64, offsets, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOff := map[uint64]float64{}
+	for _, pt := range points {
+		if pt.Trace.N == 0 {
+			t.Fatalf("offset %d has no samples", pt.Offset)
+		}
+		byOff[pt.Offset] = pt.Trace.Mean
+	}
+	if !(byOff[64] < byOff[63] && byOff[64] < byOff[65]) {
+		t.Errorf("64B-aligned ULI (%.0f) not below unaligned neighbours (%.0f, %.0f)",
+			byOff[64], byOff[63], byOff[65])
+	}
+	if !(byOff[136] < byOff[129]) { // 136 = 8B aligned, 129 unaligned
+		t.Errorf("8B-aligned ULI (%.0f) not below unaligned (%.0f)", byOff[136], byOff[129])
+	}
+	if !(byOff[128] < byOff[136]) { // 64B multiple faster than mere 8B-aligned
+		t.Errorf("64B multiple (%.0f) not below 8B-aligned (%.0f)", byOff[128], byOff[136])
+	}
+}
+
+func TestAbsOffsetSweep2048Periodicity(t *testing.T) {
+	// The 2048 B sawtooth: same phase 2048 apart gives close ULI; late
+	// phase exceeds early phase.
+	offsets := []uint64{68, 68 + 1024, 68 + 2048}
+	points, err := AbsOffsetSweep(nic.CX4, 64, offsets, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, late, wrap := points[0].Trace.Mean, points[1].Trace.Mean, points[2].Trace.Mean
+	if late <= early {
+		t.Errorf("sawtooth not visible: ULI(68)=%.1f ULI(1092)=%.1f", early, late)
+	}
+	// Same phase one period apart should be much closer to each other than
+	// to the mid-period point.
+	if d := wrap - early; d > (late-early)/2 && early-wrap > (late-early)/2 {
+		t.Errorf("period structure broken: early=%.1f late=%.1f wrap=%.1f", early, late, wrap)
+	}
+}
+
+func TestRelOffsetSweepBankConflicts(t *testing.T) {
+	// Relative offsets that land in the same TPU bank (multiples of
+	// 64*banks = 1024 on CX-4) show elevated ULI.
+	deltas := []uint64{64, 512, 1024, 1088, 2048}
+	points, err := RelOffsetSweep(nic.CX4, 64, deltas, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDelta := map[uint64]float64{}
+	for _, pt := range points {
+		byDelta[pt.Offset] = pt.Trace.Mean
+	}
+	if !(byDelta[1024] > byDelta[1088]) {
+		t.Errorf("same-bank delta 1024 (%.1f) not above cross-bank 1088 (%.1f)",
+			byDelta[1024], byDelta[1088])
+	}
+	if !(byDelta[2048] > byDelta[512]) {
+		t.Errorf("same-bank delta 2048 (%.1f) not above cross-bank 512 (%.1f)",
+			byDelta[2048], byDelta[512])
+	}
+}
+
+func TestInterMRSweepFig5(t *testing.T) {
+	points, err := InterMRSweep(nic.CX4, []int{64, 512, 2048}, 300, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.DiffMR.Mean <= pt.SameMR.Mean {
+			t.Errorf("size %d: different-MR ULI (%.1f) not above same-MR (%.1f)",
+				pt.MsgSize, pt.DiffMR.Mean, pt.SameMR.Mean)
+		}
+	}
+	// ULI grows with message size (more TPU beats, more wire time).
+	if !(points[0].SameMR.Mean < points[2].SameMR.Mean) {
+		t.Errorf("ULI not increasing with size: %v vs %v", points[0].SameMR.Mean, points[2].SameMR.Mean)
+	}
+}

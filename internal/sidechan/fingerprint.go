@@ -1,0 +1,232 @@
+// Package sidechan implements Ragnar's two side-channel attacks
+// (Section VI): fingerprinting distributed-database shuffle/join operations
+// from the attacker's own bandwidth (Algorithm 1, Figure 12), and snooping
+// a victim's access address on disaggregated memory via the Grain-IV offset
+// effect (Figure 13).
+package sidechan
+
+import (
+	"math/rand"
+
+	"github.com/thu-has/ragnar/internal/appdb"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/stats"
+)
+
+// Pattern is the detector's verdict.
+type Pattern int
+
+// Detected patterns.
+const (
+	PatternNull Pattern = iota
+	PatternShuffle
+	PatternJoin
+	PatternSortMerge
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatternShuffle:
+		return "shuffle"
+	case PatternJoin:
+		return "join"
+	case PatternSortMerge:
+		return "sort-merge"
+	}
+	return "null"
+}
+
+// BWSample is one windowed bandwidth observation of the attacker's
+// monitoring flow.
+type BWSample struct {
+	T  sim.Time
+	BW float64 // Gbps
+}
+
+// MonitorConfig parameterises the Algorithm 1 monitor.
+type MonitorConfig struct {
+	Profile nic.Profile
+	// Monitor is the attacker's small flow (a different client from the
+	// database workers).
+	Monitor nic.FlowSpec
+	// Window is the bandwidth sampling period.
+	Window sim.Duration
+	// RelNoise is relative measurement noise per window.
+	RelNoise float64
+	Seed     int64
+}
+
+// DefaultMonitorConfig matches the paper's setup: the attacker keeps a
+// modest read flow against the shared server.
+func DefaultMonitorConfig(p nic.Profile) MonitorConfig {
+	return MonitorConfig{
+		Profile:  p,
+		Monitor:  nic.FlowSpec{Name: "attacker", Op: nic.OpRead, MsgBytes: 1024, QPNum: 1, Client: 2},
+		Window:   10 * sim.Millisecond,
+		RelNoise: 0.02,
+		Seed:     1,
+	}
+}
+
+// Capture replays an application phase schedule against the fluid model and
+// returns the attacker's bandwidth trace over [0, total).
+func Capture(cfg MonitorConfig, phases []appdb.Phase, total sim.Duration) []BWSample {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []BWSample
+	// Cache fluid solutions per active-phase set (schedules have few
+	// distinct sets).
+	cache := map[string]float64{}
+	for t := sim.Duration(0); t < total; t += cfg.Window {
+		key := ""
+		flows := []nic.FlowSpec{cfg.Monitor}
+		for _, ph := range phases {
+			if t+cfg.Window/2 >= ph.Start && t+cfg.Window/2 < ph.Start+ph.Dur {
+				flows = append(flows, ph.Flow)
+				key += ph.Name + "|"
+			}
+		}
+		bw, ok := cache[key]
+		if !ok {
+			bw = nic.Solve(cfg.Profile, flows)[0].GoodputGbps
+			cache[key] = bw
+		}
+		bw *= 1 + cfg.RelNoise*rng.NormFloat64()
+		if bw < 0 {
+			bw = 0
+		}
+		out = append(out, BWSample{T: sim.Time(t), BW: bw})
+	}
+	return out
+}
+
+// Detector implements Algorithm 1's CorrelationDetect: it holds reference
+// bandwidth templates for shuffle and join and classifies a window of
+// monitor history by normalised cross-correlation.
+type Detector struct {
+	cfg          MonitorConfig
+	ShufTemplate []float64
+	JoinTemplate []float64
+	// Threshold is the minimum peak correlation to report a pattern.
+	Threshold float64
+	// ShufRatio and SMJRatio are the expected low/high bandwidth ratios of
+	// a write plateau (shuffle) vs a read plateau (sort-merge streaming):
+	// correlation is scale-invariant, so plateau-shaped matches are told
+	// apart by how deep the monitor's bandwidth drops.
+	ShufRatio float64
+	SMJRatio  float64
+}
+
+// NewDetector builds the canonical pattern templates. Correlation is scale-
+// and offset-invariant, so the templates are morphological: the shuffle
+// signature is one long sustained drop (plateau) framed by normal bandwidth;
+// the join signature is two periods of the burst/compute tooth. An attacker
+// derives exactly these shapes from one profiled run of each operation, and
+// they then generalise across data sizes and round counts (the paper's
+// "different round times and configurations").
+func NewDetector(cfg MonitorConfig) *Detector {
+	toothWindows := int(joinToothPeriod / cfg.Window / 2) // per half-tooth
+	// Falling edge into a sustained low: matches the *start* of a plateau of
+	// any length at least 4 tooth half-periods — size-invariant.
+	shuf := append(repeatF(1, 8), repeatF(0, 4*toothWindows)...)
+	var join []float64
+	for p := 0; p < 2; p++ {
+		join = append(join, repeatF(0, toothWindows)...)
+		join = append(join, repeatF(1, toothWindows)...)
+	}
+	join = append(join, repeatF(0, toothWindows)...)
+	// Reference drop depths from the contention model (the attacker
+	// calibrates these with one profiled run of each operation).
+	solo := nic.Solo(cfg.Profile, cfg.Monitor).GoodputGbps
+	shufFlow := nic.FlowSpec{Name: "shuffle", Op: nic.OpWrite, MsgBytes: 4096, QPNum: 6, Client: 0}
+	smjFlow := nic.FlowSpec{Name: "sortmerge", Op: nic.OpRead, MsgBytes: 4096, QPNum: 6, Client: 0}
+	shufLow := nic.Solve(cfg.Profile, []nic.FlowSpec{shufFlow, cfg.Monitor})[1].GoodputGbps
+	smjLow := nic.Solve(cfg.Profile, []nic.FlowSpec{smjFlow, cfg.Monitor})[1].GoodputGbps
+	d := &Detector{
+		cfg:          cfg,
+		ShufTemplate: shuf,
+		JoinTemplate: join,
+		Threshold:    0.75,
+	}
+	if solo > 0 {
+		d.ShufRatio = shufLow / solo
+		d.SMJRatio = smjLow / solo
+	}
+	return d
+}
+
+// joinToothPeriod is the canonical burst+gap duration of one join round
+// (appdb.JoinPhases uses 60ms+60ms).
+const joinToothPeriod = 120 * sim.Millisecond
+
+func repeatF(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func normalizeBW(ps []BWSample) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = p.BW
+	}
+	return stats.Normalize(out)
+}
+
+// Detect classifies a monitor history window: the template with the higher
+// correlation peak wins if it clears the threshold.
+func (d *Detector) Detect(history []BWSample) Pattern {
+	signal := normalizeBW(history)
+	peak := func(tpl []float64) float64 {
+		if len(signal) < len(tpl) {
+			// Slide the short signal over the template instead.
+			return stats.Max(stats.CrossCorrelate(tpl, signal))
+		}
+		return stats.Max(stats.CrossCorrelate(signal, tpl))
+	}
+	ps := peak(d.ShufTemplate)
+	pj := peak(d.JoinTemplate)
+	if ps < d.Threshold && pj < d.Threshold {
+		return PatternNull
+	}
+	if pj > ps {
+		return PatternJoin
+	}
+	// Plateau-shaped: shuffle (write storm) vs sort-merge streaming (read
+	// storm) have the same shape but different drop depths.
+	raw := make([]float64, len(history))
+	for i, p := range history {
+		raw[i] = p.BW
+	}
+	qs := stats.Percentiles(raw, 10, 90)
+	if qs[1] <= 0 {
+		return PatternShuffle
+	}
+	observed := qs[0] / qs[1]
+	if abs(observed-d.ShufRatio) <= abs(observed-d.SMJRatio) {
+		return PatternShuffle
+	}
+	return PatternSortMerge
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// FingerprintResult is one Figure 12 run: the captured trace and verdict.
+type FingerprintResult struct {
+	Trace    []BWSample
+	Detected Pattern
+}
+
+// Fingerprint runs the full attack against a schedule: capture the monitor
+// trace while the workload executes, then classify it.
+func Fingerprint(cfg MonitorConfig, d *Detector, phases []appdb.Phase, total sim.Duration) FingerprintResult {
+	trace := Capture(cfg, phases, total)
+	return FingerprintResult{Trace: trace, Detected: d.Detect(trace)}
+}

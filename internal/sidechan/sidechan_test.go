@@ -1,0 +1,232 @@
+package sidechan
+
+import (
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/appdb"
+	"github.com/thu-has/ragnar/internal/classifier"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/stats"
+)
+
+func TestCaptureShufflePlateau(t *testing.T) {
+	cfg := DefaultMonitorConfig(nic.CX5)
+	cfg.RelNoise = 0
+	phases := appdb.ShufflePhases(nic.CX5, 3, 2000, 200*sim.Millisecond)
+	total := phases[0].Start + phases[0].Dur + 200*sim.Millisecond
+	trace := Capture(cfg, phases, total)
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Before/after bandwidth must exceed during-shuffle bandwidth: the
+	// plateau drop.
+	var before, during []float64
+	for _, p := range trace {
+		if sim.Duration(p.T) < phases[0].Start-cfg.Window {
+			before = append(before, p.BW)
+		} else if sim.Duration(p.T) >= phases[0].Start+cfg.Window &&
+			sim.Duration(p.T) < phases[0].Start+phases[0].Dur-cfg.Window {
+			// Interior windows only: boundary windows straddle the edge.
+			during = append(during, p.BW)
+		}
+	}
+	if stats.Mean(during) >= stats.Mean(before)*0.8 {
+		t.Fatalf("no plateau: before %.2f during %.2f", stats.Mean(before), stats.Mean(during))
+	}
+	// The plateau is flat: low variance relative to the drop.
+	drop := stats.Mean(before) - stats.Mean(during)
+	if stats.StdDev(during) > drop/4 {
+		t.Fatalf("plateau not flat: sd %.3f vs drop %.3f", stats.StdDev(during), drop)
+	}
+}
+
+func TestCaptureJoinTeeth(t *testing.T) {
+	cfg := DefaultMonitorConfig(nic.CX5)
+	cfg.RelNoise = 0
+	phases := appdb.JoinPhases(nic.CX5, 3, 4, 100*sim.Millisecond)
+	last := phases[len(phases)-1]
+	trace := Capture(cfg, phases, last.Start+last.Dur+100*sim.Millisecond)
+	// Count falling edges: one per tooth.
+	bw := normalizeBW(trace)
+	edges := 0
+	for i := 1; i < len(bw); i++ {
+		if bw[i-1]-bw[i] > 0.5 {
+			edges++
+		}
+	}
+	if edges != 4 {
+		t.Fatalf("found %d teeth, want 4", edges)
+	}
+}
+
+func TestDetectorClassifies(t *testing.T) {
+	cfg := DefaultMonitorConfig(nic.CX5)
+	cfg.Seed = 42
+	det := NewDetector(cfg)
+
+	shuf := appdb.ShufflePhases(nic.CX5, 3, 1800, 150*sim.Millisecond)
+	total := shuf[0].Start + shuf[0].Dur + 150*sim.Millisecond
+	res := Fingerprint(cfg, det, shuf, total)
+	if res.Detected != PatternShuffle {
+		t.Fatalf("shuffle detected as %v", res.Detected)
+	}
+
+	join := appdb.JoinPhases(nic.CX5, 3, 5, 150*sim.Millisecond)
+	last := join[len(join)-1]
+	res = Fingerprint(cfg, det, join, last.Start+last.Dur+150*sim.Millisecond)
+	if res.Detected != PatternJoin {
+		t.Fatalf("join detected as %v", res.Detected)
+	}
+
+	// Idle traffic must not alarm.
+	res = Fingerprint(cfg, det, nil, 500*sim.Millisecond)
+	if res.Detected != PatternNull {
+		t.Fatalf("idle detected as %v", res.Detected)
+	}
+}
+
+func TestSnoopTraceRevealsVictimBank(t *testing.T) {
+	cfg := DefaultSnoopConfig(nic.CX4)
+	cfg.Background = false
+	cfg.ProbesPerOffset = 8
+	// Trim the observation set for speed; keep the victim's bank inside.
+	cfg.Observation = nil
+	for off := uint64(0); off <= 1024; off += 16 {
+		cfg.Observation = append(cfg.Observation, off)
+	}
+	s, err := NewSnooper(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victimOff = 320 // bank 5 on CX-4 (16 banks x 64 B)
+	trace, err := s.CaptureTrace(victimOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observation offsets sharing the victim's bank must show elevated ULI
+	// relative to the rest of the trace.
+	banks := uint64(nic.CX4.TPUBanks)
+	var same, other []float64
+	for i, off := range cfg.Observation {
+		if (off/64)%banks == (victimOff/64)%banks {
+			same = append(same, trace[i])
+		} else {
+			other = append(other, trace[i])
+		}
+	}
+	if stats.Mean(same) <= stats.Mean(other) {
+		t.Fatalf("victim bank not visible: same %.1f other %.1f", stats.Mean(same), stats.Mean(other))
+	}
+}
+
+func TestSnoopDistinctCandidatesDistinctTraces(t *testing.T) {
+	cfg := DefaultSnoopConfig(nic.CX4)
+	cfg.Background = false
+	cfg.ProbesPerOffset = 6
+	cfg.Observation = nil
+	for off := uint64(0); off <= 1024; off += 16 {
+		cfg.Observation = append(cfg.Observation, off)
+	}
+	capture := func(off uint64) []float64 {
+		s, err := NewSnooper(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := s.CaptureTrace(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	t0 := capture(0)
+	t64 := capture(64)
+	t0b := capture(0)
+	// Same class correlates better with itself than with the other class.
+	rSame, _ := stats.Pearson(t0, t0b)
+	rDiff, _ := stats.Pearson(t0, t64)
+	if rSame <= rDiff {
+		t.Fatalf("traces not class-separable: same-class r=%.3f cross-class r=%.3f", rSame, rDiff)
+	}
+}
+
+// End-to-end snoop: small dataset, both classifiers must clearly beat
+// chance; the bench reproduces the paper-scale 95.6% figure.
+func TestSnoopAttackEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snoop dataset collection is slow")
+	}
+	cfg := DefaultSnoopConfig(nic.CX4)
+	cfg.ProbesPerOffset = 6
+	cfg.Observation = nil
+	for off := uint64(0); off <= 1024; off += 16 {
+		cfg.Observation = append(cfg.Observation, off)
+	}
+	// 5 bank-distinct candidates for a fast test (the bench runs the full
+	// 17-candidate set, where 0 B and 1024 B alias to one TPU bank).
+	cfg.Candidates = []uint64{0, 192, 448, 704, 960}
+	cnnCfg := classifier.DefaultCNNConfig()
+	cnnCfg.Epochs = 24
+	rep, err := RunSnoopAttack(cfg, 10, cnnCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chance := 1.0 / float64(rep.Classes)
+	if rep.CentroidAcc < 3*chance {
+		t.Errorf("centroid accuracy %.2f barely above chance %.2f", rep.CentroidAcc, chance)
+	}
+	if rep.CNNAcc < 3*chance {
+		t.Errorf("CNN accuracy %.2f barely above chance %.2f", rep.CNNAcc, chance)
+	}
+}
+
+func TestSnooperValidation(t *testing.T) {
+	cfg := DefaultSnoopConfig(nic.CX4)
+	cfg.Candidates = nil
+	if _, err := NewSnooper(cfg); err == nil {
+		t.Fatal("empty candidates should error")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cfg := DefaultSnoopConfig(nic.CX4)
+	if cfg.ClassOf(0) != 0 || cfg.ClassOf(64) != 1 || cfg.ClassOf(1024) != 16 {
+		t.Fatal("candidate indexing broken")
+	}
+	if cfg.ClassOf(13) != -1 {
+		t.Fatal("non-candidate should map to -1")
+	}
+	if len(cfg.Candidates) != 17 || len(cfg.Observation) != 257 {
+		t.Fatalf("paper set sizes: %d candidates, %d observations", len(cfg.Candidates), len(cfg.Observation))
+	}
+}
+
+// The three workload patterns classify distinctly: write plateau (shuffle),
+// read plateau (sort-merge) and teeth (hash join).
+func TestDetectorDistinguishesThreePatterns(t *testing.T) {
+	cfg := DefaultMonitorConfig(nic.CX5)
+	cfg.Seed = 17
+	det := NewDetector(cfg)
+	if det.ShufRatio == det.SMJRatio {
+		t.Fatal("reference drop depths identical; disambiguation impossible")
+	}
+
+	shuf := appdb.ShufflePhases(nic.CX5, 3, 2000, 150*sim.Millisecond)
+	res := Fingerprint(cfg, det, shuf, shuf[0].Start+shuf[0].Dur+150*sim.Millisecond)
+	if res.Detected != PatternShuffle {
+		t.Errorf("shuffle -> %v", res.Detected)
+	}
+
+	smj := appdb.SortMergePhases(nic.CX5, 3, 2000, 150*sim.Millisecond)
+	res = Fingerprint(cfg, det, smj, smj[0].Start+smj[0].Dur+150*sim.Millisecond)
+	if res.Detected != PatternSortMerge {
+		t.Errorf("sort-merge -> %v", res.Detected)
+	}
+
+	join := appdb.JoinPhases(nic.CX5, 3, 5, 150*sim.Millisecond)
+	last := join[len(join)-1]
+	res = Fingerprint(cfg, det, join, last.Start+last.Dur+150*sim.Millisecond)
+	if res.Detected != PatternJoin {
+		t.Errorf("hash join -> %v", res.Detected)
+	}
+}

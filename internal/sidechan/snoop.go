@@ -1,0 +1,266 @@
+package sidechan
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/thu-has/ragnar/internal/classifier"
+	"github.com/thu-has/ragnar/internal/lab"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/stats"
+	"github.com/thu-has/ragnar/internal/traffic"
+	"github.com/thu-has/ragnar/internal/uli"
+	"github.com/thu-has/ragnar/internal/verbs"
+)
+
+// SnoopConfig parameterises the Figure 13 attack: the victim repeatedly
+// reads one address from the candidate set in a shared MR; the attacker
+// measures mean ULI at each observation-set offset and classifies the
+// resulting trace.
+type SnoopConfig struct {
+	Profile nic.Profile
+	// Candidates are the victim's possible access offsets: 17 candidates,
+	// 0 B to 1024 B (64 B apart — Sherman's KV entry granularity).
+	Candidates []uint64
+	// Observation is the attacker's probe set: 257 offsets, 0 B to 1024 B
+	// (4 B apart).
+	Observation []uint64
+	// ProbesPerOffset is the paper's N: ULI samples averaged per
+	// observation point.
+	ProbesPerOffset int
+	MsgSize         int
+	Depth           int
+	// Background, when true, adds a third client issuing benign traffic
+	// whose parameters vary per trace — the realistic nuisance that keeps
+	// trace classes from being trivially separable.
+	Background bool
+	Seed       int64
+}
+
+// DefaultSnoopConfig mirrors Section VI-B: 17 candidates and 257
+// observation points over a 1 KiB shared file region, 64 B reads.
+func DefaultSnoopConfig(p nic.Profile) SnoopConfig {
+	cfg := SnoopConfig{
+		Profile:         p,
+		ProbesPerOffset: 8,
+		MsgSize:         64,
+		Depth:           8,
+		Background:      true,
+		Seed:            1,
+	}
+	for off := uint64(0); off <= 1024; off += 64 {
+		cfg.Candidates = append(cfg.Candidates, off)
+	}
+	for off := uint64(0); off <= 1024; off += 4 {
+		cfg.Observation = append(cfg.Observation, off)
+	}
+	return cfg
+}
+
+// Snooper is one instantiated attack rig: victim, attacker and optional
+// background client sharing a server MR.
+type Snooper struct {
+	cfg      SnoopConfig
+	cluster  *lab.Cluster
+	mr       *verbs.MR
+	victim   *lab.Conn
+	attacker *lab.Conn
+	noise    *lab.Conn
+}
+
+// NewSnooper builds the rig. The shared MR models the paper's 1 KiB shared
+// file (plus headroom) in the memory server.
+func NewSnooper(cfg SnoopConfig) (*Snooper, error) {
+	if len(cfg.Candidates) == 0 || len(cfg.Observation) == 0 {
+		return nil, errors.New("sidechan: empty candidate or observation set")
+	}
+	lcfg := lab.DefaultConfig(cfg.Profile)
+	lcfg.Seed = cfg.Seed
+	lcfg.Clients = 3
+	c := lab.New(lcfg)
+	mr, err := c.RegisterServerMR(2 << 20)
+	if err != nil {
+		return nil, err
+	}
+	victim, err := c.Dial(0, cfg.Depth+2)
+	if err != nil {
+		return nil, err
+	}
+	attacker, err := c.Dial(1, cfg.Depth+2)
+	if err != nil {
+		return nil, err
+	}
+	noise, err := c.Dial(2, 6)
+	if err != nil {
+		return nil, err
+	}
+	for _, cn := range []*lab.Conn{victim, attacker, noise} {
+		if err := c.Warm(cn, mr); err != nil {
+			return nil, err
+		}
+	}
+	return &Snooper{cfg: cfg, cluster: c, mr: mr, victim: victim, attacker: attacker, noise: noise}, nil
+}
+
+// MR exposes the shared region (examples wire the B+ tree into it).
+func (s *Snooper) MR() *verbs.MR { return s.mr }
+
+// Cluster exposes the underlying lab cluster.
+func (s *Snooper) Cluster() *lab.Cluster { return s.cluster }
+
+// CaptureTrace runs one attack round while the victim reads the given
+// candidate offset: for each observation offset, the attacker issues
+// ProbesPerOffset ULI probes and records the mean — one point of the
+// 257-dimensional trace.
+func (s *Snooper) CaptureTrace(victimOffset uint64) ([]float64, error) {
+	eng := s.cluster.Eng
+	rng := eng.Rand()
+
+	victimGen := &traffic.Generator{
+		QP: s.victim.QP, CQ: s.victim.CQ,
+		Op: nic.OpRead, MsgSize: 64, Depth: s.cfg.Depth,
+		Next: traffic.FixedTarget(s.mr.Describe(victimOffset)),
+	}
+	if err := victimGen.Start(); err != nil {
+		return nil, err
+	}
+	var noiseGen *traffic.Generator
+	if s.cfg.Background {
+		// Benign co-tenant load: random message size and target per trace.
+		sizes := []int{128, 256, 512, 1024}
+		sz := sizes[rng.Intn(len(sizes))]
+		off := uint64(rng.Intn(64)) * 2048
+		noiseGen = &traffic.Generator{
+			QP: s.noise.QP, CQ: s.noise.CQ,
+			Op: nic.OpRead, MsgSize: sz, Depth: 1 + rng.Intn(3),
+			Next: traffic.FixedTarget(s.mr.Describe(1 << 20).At(off)),
+		}
+		if err := noiseGen.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	trace := make([]float64, len(s.cfg.Observation))
+	for i, off := range s.cfg.Observation {
+		prober := &uli.Prober{
+			QP: s.attacker.QP, CQ: s.attacker.CQ,
+			Remote: s.mr.Describe(off), MsgSize: s.cfg.MsgSize, Depth: s.cfg.Depth,
+		}
+		samples, err := prober.Measure(eng, s.cfg.ProbesPerOffset)
+		if err != nil {
+			return nil, fmt.Errorf("sidechan: offset %d: %w", off, err)
+		}
+		trace[i] = stats.Mean(uli.ULIs(samples))
+	}
+
+	victimGen.Stop()
+	if noiseGen != nil {
+		noiseGen.Stop()
+	}
+	// Drain leftovers so back-to-back captures are independent.
+	eng.RunFor(50 * sim.Microsecond)
+	// Per-trace standardisation: co-tenant background load shifts the whole
+	// trace up or down; the victim's signature lives in the *shape* (which
+	// observation offsets conflict with the victim's bank), so the attacker
+	// removes the DC component before classification.
+	return stats.ZScore(trace), nil
+}
+
+// ClassOf maps a victim offset to its candidate index; -1 if absent.
+func (cfg *SnoopConfig) ClassOf(offset uint64) int {
+	for i, c := range cfg.Candidates {
+		if c == offset {
+			return i
+		}
+	}
+	return -1
+}
+
+// CollectDataset captures perClass traces for every candidate, producing
+// the training corpus of Figure 13(b) (the paper collects 6720 traces).
+func CollectDataset(cfg SnoopConfig, perClass int) (*classifier.Dataset, error) {
+	ds := &classifier.Dataset{}
+	for class, victimOff := range cfg.Candidates {
+		// A fresh rig per class keeps runs independent; the per-trace seed
+		// varies the background traffic and jitter.
+		for t := 0; t < perClass; t++ {
+			runCfg := cfg
+			runCfg.Seed = cfg.Seed + int64(class*1000+t)
+			s, err := NewSnooper(runCfg)
+			if err != nil {
+				return nil, err
+			}
+			trace, err := s.CaptureTrace(victimOff)
+			if err != nil {
+				return nil, err
+			}
+			ds.Add(trace, class)
+		}
+	}
+	ds.Classes = len(cfg.Candidates)
+	return ds, nil
+}
+
+// SnoopReport summarises the end-to-end attack: dataset sizes and the two
+// classifiers' accuracies with confusion matrices.
+type SnoopReport struct {
+	Traces       int
+	Classes      int
+	CentroidAcc  float64
+	CNNAcc       float64
+	CNNConfusion [][]int
+}
+
+// RunSnoopAttack collects a dataset, trains both classifiers and evaluates
+// them — the full Figure 13 pipeline.
+func RunSnoopAttack(cfg SnoopConfig, perClass int, cnnCfg classifier.CNNConfig) (*SnoopReport, error) {
+	ds, err := CollectDataset(cfg, perClass)
+	if err != nil {
+		return nil, err
+	}
+	train, test := ds.Split(0.75, cfg.Seed)
+	rep := &SnoopReport{Traces: ds.Len(), Classes: ds.Classes}
+	nc, err := classifier.TrainNearestCentroid(train)
+	if err != nil {
+		return nil, err
+	}
+	rep.CentroidAcc, _ = classifier.Evaluate(nc, test)
+	cnn, err := classifier.TrainCNN(train, cnnCfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.CNNAcc, rep.CNNConfusion = classifier.Evaluate(cnn, test)
+	return rep, nil
+}
+
+// CaptureBaseline records the attacker's trace with no victim running: the
+// attacker's own offset-dependent translation costs. Subtracting it from a
+// live trace isolates the victim-induced component — the calibration step a
+// real attacker performs once after reverse engineering.
+func (s *Snooper) CaptureBaseline() ([]float64, error) {
+	eng := s.cluster.Eng
+	trace := make([]float64, len(s.cfg.Observation))
+	for i, off := range s.cfg.Observation {
+		prober := &uli.Prober{
+			QP: s.attacker.QP, CQ: s.attacker.CQ,
+			Remote: s.mr.Describe(off), MsgSize: s.cfg.MsgSize, Depth: s.cfg.Depth,
+		}
+		samples, err := prober.Measure(eng, s.cfg.ProbesPerOffset)
+		if err != nil {
+			return nil, fmt.Errorf("sidechan: baseline offset %d: %w", off, err)
+		}
+		trace[i] = stats.Mean(uli.ULIs(samples))
+	}
+	eng.RunFor(50 * sim.Microsecond)
+	return stats.ZScore(trace), nil
+}
+
+// Subtract returns a-b elementwise (trace calibration helper).
+func Subtract(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. The callback runs exactly once, at the
+// event's virtual time, unless the event is cancelled first.
+type Event struct {
+	when     Time
+	seq      uint64
+	index    int // heap index, -1 once popped or cancelled
+	fn       func()
+	canceled bool
+}
+
+// When reports the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether the event has been cancelled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use: all model code runs single-threaded inside event callbacks,
+// which is what makes runs reproducible.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// Identical seeds yield identical runs.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source. Model code must use
+// this source (never the global one) to stay reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past panics:
+// it is always a model bug, and silently clamping would mask causality
+// violations.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn d after the current time. Negative delays panic.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Halt stops the run loop after the current event's callback returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// step pops and fires the next event. It reports false when the queue is
+// empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek: queue[0] is the earliest pending event.
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.when > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for a span of virtual time from now.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }

@@ -1,0 +1,115 @@
+package sim
+
+// Server models a service station with a fixed number of identical service
+// slots and a FIFO request queue — the building block for DMA engines,
+// processing units and translation pipelines. Requests carry a service time;
+// when a slot frees up the next queued request begins service and its
+// completion callback fires after the service time elapses.
+type Server struct {
+	eng      *Engine
+	name     string
+	slots    int
+	busy     int
+	queue    []serverReq
+	served   uint64
+	busyTime Duration
+	lastBusy Time
+	// Preempt gives strict priority to requests with a lower class value.
+	// Classless (0) requests are FIFO among themselves.
+	classed bool
+}
+
+type serverReq struct {
+	service Duration
+	class   int
+	done    func()
+	posted  Time
+}
+
+// NewServer returns a server with the given number of parallel slots.
+func NewServer(eng *Engine, name string, slots int) *Server {
+	if slots < 1 {
+		panic("sim: server needs at least one slot")
+	}
+	return &Server{eng: eng, name: name, slots: slots}
+}
+
+// NewPriorityServer returns a server that serves lower class values first.
+func NewPriorityServer(eng *Engine, name string, slots int) *Server {
+	s := NewServer(eng, name, slots)
+	s.classed = true
+	return s
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// QueueLen reports the number of requests waiting (not in service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Busy reports the number of slots currently serving.
+func (s *Server) Busy() int { return s.busy }
+
+// Served reports the number of completed requests.
+func (s *Server) Served() uint64 { return s.served }
+
+// Utilization returns the fraction of elapsed time at least one slot was
+// busy, up to the current virtual time.
+func (s *Server) Utilization() float64 {
+	if s.eng.Now() == 0 {
+		return 0
+	}
+	bt := s.busyTime
+	if s.busy > 0 {
+		bt += s.eng.Now().Sub(s.lastBusy)
+	}
+	return float64(bt) / float64(s.eng.Now())
+}
+
+// Submit enqueues a request requiring the given service time; done fires when
+// service completes. Class is only meaningful for priority servers.
+func (s *Server) Submit(service Duration, class int, done func()) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	req := serverReq{service: service, class: class, done: done, posted: s.eng.Now()}
+	if s.busy < s.slots {
+		s.start(req)
+		return
+	}
+	if s.classed {
+		// Insert keeping the queue sorted by class, stable within a class.
+		i := len(s.queue)
+		for i > 0 && s.queue[i-1].class > class {
+			i--
+		}
+		s.queue = append(s.queue, serverReq{})
+		copy(s.queue[i+1:], s.queue[i:])
+		s.queue[i] = req
+		return
+	}
+	s.queue = append(s.queue, req)
+}
+
+func (s *Server) start(req serverReq) {
+	if s.busy == 0 {
+		s.lastBusy = s.eng.Now()
+	}
+	s.busy++
+	s.eng.After(req.service, func() {
+		s.busy--
+		s.served++
+		if s.busy == 0 {
+			s.busyTime += s.eng.Now().Sub(s.lastBusy)
+		}
+		if req.done != nil {
+			req.done()
+		}
+		if len(s.queue) > 0 && s.busy < s.slots {
+			next := s.queue[0]
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.start(next)
+		}
+	})
+}

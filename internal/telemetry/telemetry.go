@@ -1,0 +1,114 @@
+// Package telemetry provides the ethtool/HARMONIC-style counter view of a
+// simulated RNIC: point-in-time snapshots of Grain-I (volume), Grain-II
+// (per-opcode) and Grain-III (per-QP/MR) counters, window deltas, and a
+// periodic sampler that records a series while the simulation runs. The
+// defense package builds its detectors on these; command-line tools print
+// them.
+package telemetry
+
+import (
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+// Snapshot is one reading of the counters a defender can see.
+type Snapshot struct {
+	At        sim.Time
+	TxBytes   uint64
+	RxBytes   uint64
+	PerTC     [8]uint64             // Grain-I: ingress bytes per traffic class
+	PFCPauses [8]uint64             // Grain-I: flow-control pause events
+	PerOpcode map[nic.Opcode]uint64 // Grain-II: messages received per opcode
+	PerQP     map[uint32]uint64     // Grain-III: messages per QP
+	PerMR     map[uint32]uint64     // Grain-III: bytes per MR
+}
+
+// Snap reads the current counter state of a NIC.
+func Snap(eng *sim.Engine, n *nic.NIC) Snapshot {
+	c := n.Counters()
+	s := Snapshot{
+		At:        eng.Now(),
+		TxBytes:   c.TxBytes,
+		RxBytes:   c.RxBytes,
+		PerOpcode: map[nic.Opcode]uint64{},
+		PerQP:     map[uint32]uint64{},
+		PerMR:     map[uint32]uint64{},
+	}
+	s.PerTC = c.RxBytesTC
+	s.PFCPauses = c.PFCPauses
+	for k, v := range c.RxMsgs {
+		s.PerOpcode[k] = v
+	}
+	for k, v := range c.PerQPMsgs {
+		s.PerQP[k] = v
+	}
+	for k, v := range c.PerMRBytes {
+		s.PerMR[k] = v
+	}
+	return s
+}
+
+// Delta returns the per-window counter increments between two snapshots.
+func Delta(prev, cur Snapshot) Snapshot {
+	d := Snapshot{
+		At:        cur.At,
+		TxBytes:   cur.TxBytes - prev.TxBytes,
+		RxBytes:   cur.RxBytes - prev.RxBytes,
+		PerOpcode: map[nic.Opcode]uint64{},
+		PerQP:     map[uint32]uint64{},
+		PerMR:     map[uint32]uint64{},
+	}
+	for i := range cur.PerTC {
+		d.PerTC[i] = cur.PerTC[i] - prev.PerTC[i]
+		d.PFCPauses[i] = cur.PFCPauses[i] - prev.PFCPauses[i]
+	}
+	for k, v := range cur.PerOpcode {
+		d.PerOpcode[k] = v - prev.PerOpcode[k]
+	}
+	for k, v := range cur.PerQP {
+		d.PerQP[k] = v - prev.PerQP[k]
+	}
+	for k, v := range cur.PerMR {
+		d.PerMR[k] = v - prev.PerMR[k]
+	}
+	return d
+}
+
+// WindowedDeltas converts a snapshot series into per-window deltas.
+func WindowedDeltas(series []Snapshot) []Snapshot {
+	var out []Snapshot
+	for i := 1; i < len(series); i++ {
+		out = append(out, Delta(series[i-1], series[i]))
+	}
+	return out
+}
+
+// Sampler schedules periodic snapshots of a NIC. Snapshots fire as
+// simulation events while other actors run.
+type Sampler struct {
+	Series []Snapshot
+}
+
+// NewSampler arms n windows of the given width starting now. The returned
+// sampler's Series fills as the engine advances past each boundary.
+func NewSampler(eng *sim.Engine, n *nic.NIC, window sim.Duration, windows int) *Sampler {
+	s := &Sampler{}
+	s.Series = append(s.Series, Snap(eng, n))
+	for w := 1; w <= windows; w++ {
+		eng.At(eng.Now().Add(window*sim.Duration(w)), func() {
+			s.Series = append(s.Series, Snap(eng, n))
+		})
+	}
+	return s
+}
+
+// Deltas returns the currently recorded window deltas.
+func (s *Sampler) Deltas() []Snapshot { return WindowedDeltas(s.Series) }
+
+// RateGbps converts a delta's RxBytes to Gbps given the window width.
+func RateGbps(d Snapshot, window sim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(d.RxBytes) * 8 / window.Seconds() / 1e9
+}

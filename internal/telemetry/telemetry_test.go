@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/lab"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/traffic"
+)
+
+func TestSnapAndDelta(t *testing.T) {
+	c := lab.New(lab.DefaultConfig(nic.CX4))
+	mr, err := c.RegisterServerMR(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := c.Dial(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Snap(c.Eng, c.Server.NIC())
+	for i := 0; i < 10; i++ {
+		if err := conn.QP.PostRead(uint64(i), nil, mr.Describe(uint64(i*64)), 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Eng.Run()
+	after := Snap(c.Eng, c.Server.NIC())
+	d := Delta(before, after)
+	if d.PerOpcode[nic.OpRead] != 10 {
+		t.Fatalf("opcode delta = %d", d.PerOpcode[nic.OpRead])
+	}
+	if d.PerMR[mr.RKey()] != 640 {
+		t.Fatalf("MR bytes delta = %d", d.PerMR[mr.RKey()])
+	}
+	if d.RxBytes == 0 || d.TxBytes == 0 {
+		t.Fatal("volume counters did not move")
+	}
+}
+
+func TestSamplerWindows(t *testing.T) {
+	c := lab.New(lab.DefaultConfig(nic.CX4))
+	mr, err := c.RegisterServerMR(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := c.Dial(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Warm(conn, mr); err != nil {
+		t.Fatal(err)
+	}
+	gen := &traffic.Generator{
+		QP: conn.QP, CQ: conn.CQ, Op: nic.OpRead, MsgSize: 512, Depth: 4,
+		Next: traffic.FixedTarget(mr.Describe(0)),
+	}
+	s := NewSampler(c.Eng, c.Server.NIC(), 20*sim.Microsecond, 5)
+	if err := gen.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.RunFor(120 * sim.Microsecond)
+	gen.Stop()
+	deltas := s.Deltas()
+	if len(deltas) != 5 {
+		t.Fatalf("got %d windows", len(deltas))
+	}
+	// Under a steady generator every interior window carries traffic.
+	for i, d := range deltas {
+		if d.PerOpcode[nic.OpRead] == 0 {
+			t.Fatalf("window %d saw no reads", i)
+		}
+	}
+	if RateGbps(deltas[1], 20*sim.Microsecond) <= 0 {
+		t.Fatal("rate conversion broken")
+	}
+}
+
+func TestRateGbpsZeroWindow(t *testing.T) {
+	if RateGbps(Snapshot{RxBytes: 100}, 0) != 0 {
+		t.Fatal("zero window should yield 0")
+	}
+}

@@ -1,0 +1,354 @@
+// Package verbs is a from-scratch RDMA verbs layer over the simulated NIC
+// and fabric: protection domains, memory regions with rkeys, reliable-
+// connected queue pairs, completion queues and the post/poll interface —
+// the same surface libibverbs gives the paper's attack code. Everything is
+// single-threaded inside the simulation engine, mirroring the paper's
+// single-threaded microbenchmarks.
+package verbs
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/thu-has/ragnar/internal/fabric"
+	"github.com/thu-has/ragnar/internal/host"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+// Access flags for memory registration (subset of IBV_ACCESS_*).
+type Access uint32
+
+// Access permissions.
+const (
+	AccessLocalWrite Access = 1 << iota
+	AccessRemoteRead
+	AccessRemoteWrite
+	AccessRemoteAtomic
+)
+
+// Context is a device context: one host plus its RNIC.
+type Context struct {
+	Name string
+	eng  *sim.Engine
+	hst  *host.Host
+	dev  *nic.NIC
+
+	nextPD  uint32
+	nextKey uint32
+	nextQPN uint32
+}
+
+// NewContext opens a device context on a fresh host with the given NIC
+// profile. numa is the NUMA node the NIC attaches to.
+func NewContext(eng *sim.Engine, name string, hostCfg host.Config, prof nic.Profile, numa int) *Context {
+	h := host.New(eng, hostCfg)
+	return &Context{
+		Name: name,
+		eng:  eng,
+		hst:  h,
+		dev:  nic.New(eng, name+"/nic", prof, h, numa),
+		// Key/QPN namespaces start at generation-looking values, as real
+		// stacks do.
+		nextKey: 0x1000,
+		nextQPN: 0x40,
+	}
+}
+
+// Engine returns the simulation engine the context runs on.
+func (c *Context) Engine() *sim.Engine { return c.eng }
+
+// Host returns the underlying host model.
+func (c *Context) Host() *host.Host { return c.hst }
+
+// NIC returns the underlying adapter model (reverse-engineering code
+// inspects its TPU and counters).
+func (c *Context) NIC() *nic.NIC { return c.dev }
+
+// PD is a protection domain.
+type PD struct {
+	ctx *Context
+	id  uint32
+}
+
+// AllocPD allocates a protection domain.
+func (c *Context) AllocPD() *PD {
+	c.nextPD++
+	return &PD{ctx: c, id: c.nextPD}
+}
+
+// MR is a registered memory region.
+type MR struct {
+	pd     *PD
+	region *host.Region
+	rkey   uint32
+	lkey   uint32
+	access Access
+}
+
+// RegMR allocates size bytes on the given page size and registers them for
+// RDMA access. The paper's Grain-III/IV setup uses 2 MB huge pages.
+func (pd *PD) RegMR(size uint64, page host.PageSize, access Access) (*MR, error) {
+	region, err := pd.ctx.hst.Alloc(size, page, 0)
+	if err != nil {
+		return nil, fmt.Errorf("verbs: %w", err)
+	}
+	pd.ctx.nextKey++
+	mr := &MR{pd: pd, region: region, rkey: pd.ctx.nextKey, lkey: pd.ctx.nextKey, access: access}
+	err = pd.ctx.dev.RegisterMR(nic.MRInfo{
+		Key:         mr.rkey,
+		Base:        region.Base(),
+		Size:        region.Size(),
+		Region:      region,
+		PageSize:    uint64(page),
+		RemoteRead:  access&AccessRemoteRead != 0,
+		RemoteWrite: access&AccessRemoteWrite != 0,
+		Atomic:      access&AccessRemoteAtomic != 0,
+	})
+	if err != nil {
+		pd.ctx.hst.Free(region)
+		return nil, err
+	}
+	return mr, nil
+}
+
+// DeregMR unregisters and unpins the region.
+func (mr *MR) DeregMR() {
+	mr.pd.ctx.dev.DeregisterMR(mr.rkey)
+	mr.pd.ctx.hst.Free(mr.region)
+}
+
+// RKey returns the remote access key.
+func (mr *MR) RKey() uint32 { return mr.rkey }
+
+// Base returns the region's base address (exchanged out of band, as real
+// RDMA applications do).
+func (mr *MR) Base() uint64 { return mr.region.Base() }
+
+// Size returns the registered size.
+func (mr *MR) Size() uint64 { return mr.region.Size() }
+
+// Addr returns the address at the given offset into the MR.
+func (mr *MR) Addr(offset uint64) uint64 { return mr.region.Base() + offset }
+
+// Bytes exposes the backing memory for local access.
+func (mr *MR) Bytes() []byte { return mr.region.Bytes() }
+
+// RemoteBuf names a remote target: rkey plus address, the pair a client
+// learns during connection setup.
+type RemoteBuf struct {
+	RKey uint32
+	Addr uint64
+}
+
+// At returns the remote buffer shifted by off bytes.
+func (r RemoteBuf) At(off uint64) RemoteBuf { return RemoteBuf{RKey: r.RKey, Addr: r.Addr + off} }
+
+// Describe returns the MR's remote handle at the given offset.
+func (mr *MR) Describe(offset uint64) RemoteBuf {
+	return RemoteBuf{RKey: mr.rkey, Addr: mr.region.Base() + offset}
+}
+
+// CQ is a completion queue.
+type CQ struct {
+	ctx     *Context
+	entries []nic.Completion
+	cap     int
+	// Notify, when set, fires on every completion push — the simulation
+	// analogue of a completion-channel wakeup, letting measurement loops
+	// react without busy-polling virtual time.
+	Notify func(nic.Completion)
+}
+
+// CreateCQ creates a completion queue holding up to capacity entries;
+// overflow drops the oldest (real CQs error, but the measurement loops here
+// always poll promptly — the cap only guards runaway tests).
+func (c *Context) CreateCQ(capacity int) *CQ {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &CQ{ctx: c, cap: capacity}
+}
+
+func (q *CQ) push(comp nic.Completion) {
+	if len(q.entries) >= q.cap {
+		q.entries = q.entries[1:]
+	}
+	q.entries = append(q.entries, comp)
+	if q.Notify != nil {
+		q.Notify(comp)
+	}
+}
+
+// Poll removes and returns up to n completions.
+func (q *CQ) Poll(n int) []nic.Completion {
+	if n > len(q.entries) {
+		n = len(q.entries)
+	}
+	out := append([]nic.Completion(nil), q.entries[:n]...)
+	q.entries = q.entries[n:]
+	return out
+}
+
+// Len reports queued completions.
+func (q *CQ) Len() int { return len(q.entries) }
+
+// QPCap configures queue pair limits.
+type QPCap struct {
+	MaxSendWR int // send queue depth (the paper's len_sq,max knob)
+	MaxRecvWR int
+}
+
+// QP is a reliable-connected queue pair.
+type QP struct {
+	ctx      *Context
+	qpn      uint32
+	pd       *PD
+	sendCQ   *CQ
+	caps     QPCap
+	inFlight int
+	tc       int
+	// OnRecv, when set, receives inbound SEND/WRITE events on this QP.
+	OnRecv func(nic.RecvEvent)
+	peer   *QP
+}
+
+// CreateQP creates a queue pair bound to a send CQ.
+func (c *Context) CreateQP(pd *PD, sendCQ *CQ, caps QPCap) (*QP, error) {
+	if caps.MaxSendWR <= 0 {
+		caps.MaxSendWR = 128
+	}
+	if caps.MaxRecvWR <= 0 {
+		caps.MaxRecvWR = 128
+	}
+	c.nextQPN++
+	qp := &QP{ctx: c, qpn: c.nextQPN, pd: pd, sendCQ: sendCQ, caps: caps}
+	err := c.dev.CreateQP(qp.qpn,
+		func(comp nic.Completion) {
+			qp.inFlight--
+			sendCQ.push(comp)
+		},
+		func(ev nic.RecvEvent) {
+			if qp.OnRecv != nil {
+				qp.OnRecv(ev)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return qp, nil
+}
+
+// QPN returns the queue pair number.
+func (qp *QP) QPN() uint32 { return qp.qpn }
+
+// SetTC sets the traffic class (802.1p priority) for subsequent posts.
+func (qp *QP) SetTC(tc int) { qp.tc = tc }
+
+// ErrSQFull is returned when the send queue is at MaxSendWR.
+var ErrSQFull = errors.New("verbs: send queue full")
+
+// Outstanding reports WQEs posted but not yet completed — the paper's
+// len_sq for the ULI computation.
+func (qp *QP) Outstanding() int { return qp.inFlight }
+
+// post validates and submits a WQE.
+func (qp *QP) post(wqe *nic.WQE) error {
+	if qp.peer == nil {
+		return errors.New("verbs: QP not connected")
+	}
+	if qp.inFlight >= qp.caps.MaxSendWR {
+		return ErrSQFull
+	}
+	wqe.TC = qp.tc
+	if err := qp.ctx.dev.PostSend(qp.qpn, wqe); err != nil {
+		return err
+	}
+	qp.inFlight++
+	return nil
+}
+
+// PostRead posts an RDMA Read of length bytes from the remote buffer into
+// local (which may be nil when the caller only measures timing).
+func (qp *QP) PostRead(wrid uint64, local []byte, remote RemoteBuf, length int) error {
+	return qp.post(&nic.WQE{
+		WRID: wrid, Op: nic.OpRead, LocalData: local,
+		RemoteKey: remote.RKey, RemoteAddr: remote.Addr, Length: length,
+	})
+}
+
+// PostWrite posts an RDMA Write of data to the remote buffer.
+func (qp *QP) PostWrite(wrid uint64, data []byte, remote RemoteBuf, length int) error {
+	return qp.post(&nic.WQE{
+		WRID: wrid, Op: nic.OpWrite, LocalData: data,
+		RemoteKey: remote.RKey, RemoteAddr: remote.Addr, Length: length,
+	})
+}
+
+// PostSend posts a two-sided SEND carrying data.
+func (qp *QP) PostSend(wrid uint64, data []byte) error {
+	return qp.post(&nic.WQE{WRID: wrid, Op: nic.OpSend, LocalData: data, Length: len(data)})
+}
+
+// PostAtomicFAA posts a fetch-and-add of delta on the remote 8-byte word.
+func (qp *QP) PostAtomicFAA(wrid uint64, remote RemoteBuf, delta uint64) error {
+	return qp.post(&nic.WQE{
+		WRID: wrid, Op: nic.OpAtomicFAA,
+		RemoteKey: remote.RKey, RemoteAddr: remote.Addr, Length: 8, CompareAdd: delta,
+	})
+}
+
+// PostAtomicCAS posts a compare-and-swap on the remote 8-byte word.
+func (qp *QP) PostAtomicCAS(wrid uint64, remote RemoteBuf, compare, swap uint64) error {
+	return qp.post(&nic.WQE{
+		WRID: wrid, Op: nic.OpAtomicCAS,
+		RemoteKey: remote.RKey, RemoteAddr: remote.Addr, Length: 8,
+		CompareAdd: compare, Swap: swap,
+	})
+}
+
+// PostRecv queues a receive buffer for inbound SENDs.
+func (qp *QP) PostRecv(buf []byte) error {
+	return qp.ctx.dev.PostRecv(qp.qpn, buf)
+}
+
+// Network wires contexts together with full-duplex links.
+type Network struct {
+	eng *sim.Engine
+	// PropDelay is the one-way propagation delay applied to new links.
+	PropDelay sim.Duration
+}
+
+// NewNetwork creates a network builder. Default propagation delay is a
+// typical same-rack 500 ns.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{eng: eng, PropDelay: 500 * sim.Nanosecond}
+}
+
+// ConnectContexts creates the wire between two contexts (idempotent per
+// pair). Line rate follows the slower NIC. qos applies to both directions.
+func (n *Network) ConnectContexts(a, b *Context, qos fabric.QoSConfig) {
+	rate := a.dev.Profile().LineRateGbps
+	if rb := b.dev.Profile().LineRateGbps; rb < rate {
+		rate = rb
+	}
+	ab := fabric.NewLink(n.eng, a.Name+"->"+b.Name, rate, n.PropDelay, 0, nic.Deliver)
+	ba := fabric.NewLink(n.eng, b.Name+"->"+a.Name, rate, n.PropDelay, 0, nic.Deliver)
+	ab.SetQoS(qos)
+	ba.SetQoS(qos)
+	a.dev.AddPeerLink(b.dev, ab)
+	b.dev.AddPeerLink(a.dev, ba)
+}
+
+// Connect establishes a reliable connection between two QPs whose contexts
+// are already wired.
+func Connect(a, b *QP) error {
+	if err := a.ctx.dev.ConnectQP(a.qpn, b.ctx.dev, b.qpn); err != nil {
+		return err
+	}
+	if err := b.ctx.dev.ConnectQP(b.qpn, a.ctx.dev, a.qpn); err != nil {
+		return err
+	}
+	a.peer, b.peer = b, a
+	return nil
+}

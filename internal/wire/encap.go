@@ -1,0 +1,85 @@
+package wire
+
+import "encoding/binary"
+
+// Encapsulate wraps a transport-level packet (BTH..ICRC, as produced by
+// Marshal) in Ethernet + IPv4 + UDP headers bound for the RoCEv2 port,
+// yielding a frame that packet analysers parse as genuine RoCEv2 traffic.
+// The IPv4 header checksum is computed; the UDP checksum is left zero
+// (legal for IPv4 and what RoCEv2 stacks commonly emit).
+func Encapsulate(transport []byte, srcIP, dstIP [4]byte, srcPort uint16) []byte {
+	const ethType = 0x0800 // IPv4
+	frame := make([]byte, 0, EthHeaderBytes+IPv4HeaderBytes+UDPHeaderBytes+len(transport))
+
+	// Ethernet: locally administered MACs derived from the IPs.
+	var eth [EthHeaderBytes]byte
+	eth[0] = 0x02
+	copy(eth[1:5], dstIP[:])
+	eth[6] = 0x02
+	copy(eth[7:11], srcIP[:])
+	binary.BigEndian.PutUint16(eth[12:], ethType)
+	frame = append(frame, eth[:]...)
+
+	// IPv4.
+	var ip [IPv4HeaderBytes]byte
+	ip[0] = 0x45 // version 4, IHL 5
+	totalLen := IPv4HeaderBytes + UDPHeaderBytes + len(transport)
+	binary.BigEndian.PutUint16(ip[2:], uint16(totalLen))
+	ip[8] = 64 // TTL
+	ip[9] = 17 // UDP
+	copy(ip[12:16], srcIP[:])
+	copy(ip[16:20], dstIP[:])
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:]))
+	frame = append(frame, ip[:]...)
+
+	// UDP to the RoCEv2 port.
+	var udp [UDPHeaderBytes]byte
+	binary.BigEndian.PutUint16(udp[0:], srcPort)
+	binary.BigEndian.PutUint16(udp[2:], RoCEv2UDPPort)
+	binary.BigEndian.PutUint16(udp[4:], uint16(UDPHeaderBytes+len(transport)))
+	frame = append(frame, udp[:]...)
+
+	return append(frame, transport...)
+}
+
+// ipChecksum computes the IPv4 header checksum (RFC 791) with the checksum
+// field treated as zero.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// DecapsulateUDP strips Ethernet+IPv4+UDP, returning the transport bytes.
+// It validates the encapsulation enough to reject non-RoCEv2 frames.
+func DecapsulateUDP(frame []byte) ([]byte, bool) {
+	if len(frame) < EthHeaderBytes+IPv4HeaderBytes+UDPHeaderBytes {
+		return nil, false
+	}
+	if binary.BigEndian.Uint16(frame[12:]) != 0x0800 {
+		return nil, false
+	}
+	ip := frame[EthHeaderBytes:]
+	if ip[0]>>4 != 4 || ip[9] != 17 {
+		return nil, false
+	}
+	// Options can stretch the IP header; bounds-check it against the frame
+	// (fuzzing found crafted IHL values walking past the buffer).
+	ihl := int(ip[0]&0xf) * 4
+	if ihl < IPv4HeaderBytes || len(ip) < ihl+UDPHeaderBytes {
+		return nil, false
+	}
+	udp := ip[ihl:]
+	if binary.BigEndian.Uint16(udp[2:]) != RoCEv2UDPPort {
+		return nil, false
+	}
+	return udp[UDPHeaderBytes:], true
+}

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse hardens the packet parser against arbitrary input: it must
+// never panic, and any input it accepts must re-marshal to an equivalent
+// packet (parse/marshal round-trip stability).
+func FuzzParse(f *testing.F) {
+	// Seed with valid packets of every opcode family.
+	seeds := []*Packet{
+		{BTH: BTH{Opcode: OpSendOnly}, Payload: []byte("seed payload")},
+		{BTH: BTH{Opcode: OpReadRequest, DestQP: 3, PSN: 9}, Reth: &RETH{VA: 4096, RKey: 7, DMALen: 64}},
+		{BTH: BTH{Opcode: OpAcknowledge}, Aeth: &AETH{Syndrome: 0x62, MSN: 5}},
+		{BTH: BTH{Opcode: OpCompareSwap}, Atomic: &AtomicETH{VA: 8, RKey: 1, SwapAdd: 2, Compare: 3}},
+		{BTH: BTH{Opcode: OpAtomicAck}, Aeth: &AETH{}, AtomicAck: 42},
+	}
+	for _, p := range seeds {
+		raw, err := p.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := Parse(raw)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		again, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("accepted packet failed to re-marshal: %v", err)
+		}
+		p2, err := Parse(again)
+		if err != nil {
+			t.Fatalf("re-marshalled packet rejected: %v", err)
+		}
+		if p2.BTH != p.BTH || !bytes.Equal(p2.Payload, p.Payload) {
+			t.Fatalf("round-trip instability: %+v vs %+v", p, p2)
+		}
+	})
+}
+
+// FuzzDecapsulate hardens the encapsulation stripper.
+func FuzzDecapsulate(f *testing.F) {
+	p := &Packet{BTH: BTH{Opcode: OpSendOnly}, Payload: []byte("x")}
+	transport, _ := p.Marshal()
+	f.Add(Encapsulate(transport, [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, 50000))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		got, ok := DecapsulateUDP(frame)
+		if ok && len(got) > len(frame) {
+			t.Fatal("decapsulated more bytes than the frame holds")
+		}
+	})
+}

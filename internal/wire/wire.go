@@ -1,0 +1,280 @@
+// Package wire implements the RoCEv2 on-wire format the simulated fabric
+// carries: Ethernet/IPv4/UDP encapsulation, the InfiniBand Base Transport
+// Header (BTH) and its extended headers (RETH for RDMA, AETH for
+// acknowledgements, AtomicETH/AtomicAckETH for atomics), plus the invariant
+// CRC. The NIC model accounts for packets at this byte-level granularity
+// (its header-size constants are asserted against this package), and the
+// codec round-trips every message type the simulator exchanges — so traffic
+// could be exported to or validated against real packet captures.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// IBA opcodes for the RC transport (InfiniBand Architecture Specification,
+// Table 38, subset the simulator uses).
+const (
+	OpSendFirst        = 0x00
+	OpSendMiddle       = 0x01
+	OpSendLast         = 0x02
+	OpSendOnly         = 0x04
+	OpWriteFirst       = 0x06
+	OpWriteMiddle      = 0x07
+	OpWriteLast        = 0x08
+	OpWriteOnly        = 0x0A
+	OpReadRequest      = 0x0C
+	OpReadRespFirst    = 0x0D
+	OpReadRespMiddle   = 0x0E
+	OpReadRespLast     = 0x0F
+	OpReadResponseOnly = 0x10
+	OpAcknowledge      = 0x11
+	OpAtomicAck        = 0x12
+	OpCompareSwap      = 0x13
+	OpFetchAdd         = 0x14
+)
+
+// Fixed encapsulation sizes (bytes).
+const (
+	EthHeaderBytes  = 14
+	IPv4HeaderBytes = 20
+	UDPHeaderBytes  = 8
+	BTHBytes        = 12
+	RETHBytes       = 16
+	AETHBytes       = 4
+	AtomicETHBytes  = 28
+	AtomicAckBytes  = 8
+	ICRCBytes       = 4
+	FCSBytes        = 4
+	// PreambleIPG accounts for the Ethernet preamble, SFD and inter-packet
+	// gap that occupy the wire but are not frame bytes (7+1+12).
+	PreambleIPG = 20
+	// RoCEv2UDPPort is the IANA-assigned destination port.
+	RoCEv2UDPPort = 4791
+)
+
+// BTH is the Base Transport Header.
+type BTH struct {
+	Opcode   byte
+	SolEvent bool
+	PadCount byte // 0..3
+	PKey     uint16
+	DestQP   uint32 // 24 bits
+	AckReq   bool
+	PSN      uint32 // 24 bits
+}
+
+// RETH is the RDMA Extended Transport Header (reads and writes).
+type RETH struct {
+	VA     uint64
+	RKey   uint32
+	DMALen uint32
+}
+
+// AETH is the ACK Extended Transport Header.
+type AETH struct {
+	Syndrome byte
+	MSN      uint32 // 24 bits
+}
+
+// AtomicETH carries atomic operands.
+type AtomicETH struct {
+	VA      uint64
+	RKey    uint32
+	SwapAdd uint64
+	Compare uint64
+}
+
+// Packet is one RoCEv2 packet above the UDP layer.
+type Packet struct {
+	BTH       BTH
+	Reth      *RETH
+	Aeth      *AETH
+	Atomic    *AtomicETH
+	AtomicAck uint64 // original value; valid when BTH.Opcode == OpAtomicAck
+	Payload   []byte
+}
+
+// extLen returns the extended-header length the opcode requires.
+func extLen(opcode byte) (int, error) {
+	switch opcode {
+	case OpSendOnly, OpSendFirst, OpSendMiddle, OpSendLast,
+		OpWriteMiddle, OpWriteLast, OpReadRespMiddle:
+		return 0, nil
+	case OpWriteOnly, OpWriteFirst, OpReadRequest:
+		return RETHBytes, nil
+	case OpReadResponseOnly, OpReadRespFirst, OpReadRespLast, OpAcknowledge:
+		return AETHBytes, nil
+	case OpAtomicAck:
+		return AETHBytes + AtomicAckBytes, nil
+	case OpCompareSwap, OpFetchAdd:
+		return AtomicETHBytes, nil
+	}
+	return 0, fmt.Errorf("wire: unsupported opcode %#x", opcode)
+}
+
+// TransportBytes returns the size of BTH + extended headers + payload +
+// ICRC for a packet of the given opcode and payload length.
+func TransportBytes(opcode byte, payloadLen int) (int, error) {
+	ext, err := extLen(opcode)
+	if err != nil {
+		return 0, err
+	}
+	pad := (4 - payloadLen%4) % 4
+	return BTHBytes + ext + payloadLen + pad + ICRCBytes, nil
+}
+
+// FrameBytes returns the full on-wire cost of one packet: Ethernet + IPv4 +
+// UDP + transport + FCS, plus preamble/IPG wire occupancy.
+func FrameBytes(opcode byte, payloadLen int) (int, error) {
+	t, err := TransportBytes(opcode, payloadLen)
+	if err != nil {
+		return 0, err
+	}
+	return EthHeaderBytes + IPv4HeaderBytes + UDPHeaderBytes + t + FCSBytes + PreambleIPG, nil
+}
+
+// Marshal encodes the packet (BTH and above; the encapsulation is sizing-
+// only in the simulator). The payload is padded to a 4-byte boundary and an
+// invariant CRC (CRC-32C over the transport bytes) is appended, as RoCEv2
+// requires.
+func (p *Packet) Marshal() ([]byte, error) {
+	ext, err := extLen(p.BTH.Opcode)
+	if err != nil {
+		return nil, err
+	}
+	pad := (4 - len(p.Payload)%4) % 4
+	out := make([]byte, 0, BTHBytes+ext+len(p.Payload)+pad+ICRCBytes)
+
+	var bth [BTHBytes]byte
+	bth[0] = p.BTH.Opcode
+	if p.BTH.SolEvent {
+		bth[1] |= 0x80
+	}
+	bth[1] |= (p.BTH.PadCount & 3) << 4
+	binary.BigEndian.PutUint16(bth[2:], p.BTH.PKey)
+	put24(bth[5:], p.BTH.DestQP)
+	if p.BTH.AckReq {
+		bth[8] |= 0x80
+	}
+	put24(bth[9:], p.BTH.PSN)
+	// Record the actual pad in the header so Parse can strip it.
+	bth[1] = bth[1]&^0x30 | byte(pad)<<4
+	out = append(out, bth[:]...)
+
+	switch p.BTH.Opcode {
+	case OpWriteOnly, OpWriteFirst, OpReadRequest:
+		if p.Reth == nil {
+			return nil, errors.New("wire: opcode requires RETH")
+		}
+		var reth [RETHBytes]byte
+		binary.BigEndian.PutUint64(reth[0:], p.Reth.VA)
+		binary.BigEndian.PutUint32(reth[8:], p.Reth.RKey)
+		binary.BigEndian.PutUint32(reth[12:], p.Reth.DMALen)
+		out = append(out, reth[:]...)
+	case OpReadResponseOnly, OpReadRespFirst, OpReadRespLast, OpAcknowledge, OpAtomicAck:
+		if p.Aeth == nil {
+			return nil, errors.New("wire: opcode requires AETH")
+		}
+		var aeth [AETHBytes]byte
+		aeth[0] = p.Aeth.Syndrome
+		put24(aeth[1:], p.Aeth.MSN)
+		out = append(out, aeth[:]...)
+		if p.BTH.Opcode == OpAtomicAck {
+			var orig [AtomicAckBytes]byte
+			binary.BigEndian.PutUint64(orig[:], p.AtomicAck)
+			out = append(out, orig[:]...)
+		}
+	case OpCompareSwap, OpFetchAdd:
+		if p.Atomic == nil {
+			return nil, errors.New("wire: opcode requires AtomicETH")
+		}
+		var at [AtomicETHBytes]byte
+		binary.BigEndian.PutUint64(at[0:], p.Atomic.VA)
+		binary.BigEndian.PutUint32(at[8:], p.Atomic.RKey)
+		binary.BigEndian.PutUint64(at[12:], p.Atomic.SwapAdd)
+		binary.BigEndian.PutUint64(at[20:], p.Atomic.Compare)
+		out = append(out, at[:]...)
+	}
+
+	out = append(out, p.Payload...)
+	for i := 0; i < pad; i++ {
+		out = append(out, 0)
+	}
+	crc := crc32.Checksum(out, castagnoli)
+	var icrc [ICRCBytes]byte
+	binary.BigEndian.PutUint32(icrc[:], crc)
+	return append(out, icrc[:]...), nil
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Parse decodes a transport-level packet produced by Marshal, verifying the
+// invariant CRC.
+func Parse(raw []byte) (*Packet, error) {
+	if len(raw) < BTHBytes+ICRCBytes {
+		return nil, errors.New("wire: packet shorter than BTH+ICRC")
+	}
+	body := raw[:len(raw)-ICRCBytes]
+	wantCRC := binary.BigEndian.Uint32(raw[len(raw)-ICRCBytes:])
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return nil, errors.New("wire: ICRC mismatch")
+	}
+
+	var p Packet
+	p.BTH.Opcode = body[0]
+	p.BTH.SolEvent = body[1]&0x80 != 0
+	pad := int(body[1] >> 4 & 3)
+	p.BTH.PadCount = byte(pad)
+	p.BTH.PKey = binary.BigEndian.Uint16(body[2:])
+	p.BTH.DestQP = get24(body[5:])
+	p.BTH.AckReq = body[8]&0x80 != 0
+	p.BTH.PSN = get24(body[9:])
+
+	ext, err := extLen(p.BTH.Opcode)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < BTHBytes+ext+pad {
+		return nil, errors.New("wire: truncated extended header")
+	}
+	rest := body[BTHBytes:]
+	switch p.BTH.Opcode {
+	case OpWriteOnly, OpWriteFirst, OpReadRequest:
+		p.Reth = &RETH{
+			VA:     binary.BigEndian.Uint64(rest[0:]),
+			RKey:   binary.BigEndian.Uint32(rest[8:]),
+			DMALen: binary.BigEndian.Uint32(rest[12:]),
+		}
+	case OpReadResponseOnly, OpReadRespFirst, OpReadRespLast, OpAcknowledge, OpAtomicAck:
+		p.Aeth = &AETH{Syndrome: rest[0], MSN: get24(rest[1:])}
+		if p.BTH.Opcode == OpAtomicAck {
+			p.AtomicAck = binary.BigEndian.Uint64(rest[AETHBytes:])
+		}
+	case OpCompareSwap, OpFetchAdd:
+		p.Atomic = &AtomicETH{
+			VA:      binary.BigEndian.Uint64(rest[0:]),
+			RKey:    binary.BigEndian.Uint32(rest[8:]),
+			SwapAdd: binary.BigEndian.Uint64(rest[12:]),
+			Compare: binary.BigEndian.Uint64(rest[20:]),
+		}
+	}
+	payload := rest[ext : len(rest)-pad]
+	if len(payload) > 0 {
+		p.Payload = append([]byte(nil), payload...)
+	}
+	return &p, nil
+}
+
+func put24(dst []byte, v uint32) {
+	dst[0] = byte(v >> 16)
+	dst[1] = byte(v >> 8)
+	dst[2] = byte(v)
+}
+
+func get24(src []byte) uint32 {
+	return uint32(src[0])<<16 | uint32(src[1])<<8 | uint32(src[2])
+}

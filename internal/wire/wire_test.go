@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTHRoundTrip(t *testing.T) {
+	p := &Packet{
+		BTH: BTH{Opcode: OpSendOnly, SolEvent: true, PKey: 0xffff,
+			DestQP: 0x123456, AckReq: true, PSN: 0xabcdef},
+		Payload: []byte("hello roce"),
+	}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marshal computes the pad itself; "hello roce" (10 B) pads by 2.
+	want := p.BTH
+	want.PadCount = 2
+	if got.BTH != want {
+		t.Fatalf("BTH = %+v, want %+v", got.BTH, want)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}
+
+func TestRETHRoundTrip(t *testing.T) {
+	p := &Packet{
+		BTH:  BTH{Opcode: OpReadRequest, DestQP: 7, PSN: 1},
+		Reth: &RETH{VA: 0xdeadbeefcafe, RKey: 0x1001, DMALen: 4096},
+	}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got.Reth != *p.Reth {
+		t.Fatalf("RETH = %+v", got.Reth)
+	}
+}
+
+func TestAtomicRoundTrip(t *testing.T) {
+	p := &Packet{
+		BTH:    BTH{Opcode: OpCompareSwap, DestQP: 9, PSN: 2},
+		Atomic: &AtomicETH{VA: 0x1000, RKey: 5, SwapAdd: 42, Compare: 41},
+	}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got.Atomic != *p.Atomic {
+		t.Fatalf("AtomicETH = %+v", got.Atomic)
+	}
+
+	ack := &Packet{
+		BTH:       BTH{Opcode: OpAtomicAck, DestQP: 9, PSN: 2},
+		Aeth:      &AETH{Syndrome: 0, MSN: 2},
+		AtomicAck: 41,
+	}
+	raw, err = ack.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AtomicAck != 41 || got.Aeth.MSN != 2 {
+		t.Fatalf("atomic ack = %+v", got)
+	}
+}
+
+func TestPaddingRoundTrip(t *testing.T) {
+	for n := 0; n < 8; n++ {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i + 1)
+		}
+		p := &Packet{BTH: BTH{Opcode: OpSendOnly}, Payload: payload}
+		raw, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw)%4 != 0 {
+			t.Fatalf("len %d not 4-aligned for payload %d", len(raw), n)
+		}
+		got, err := Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Payload) != n {
+			t.Fatalf("payload %d came back as %d", n, len(got.Payload))
+		}
+	}
+}
+
+func TestICRCDetectsCorruption(t *testing.T) {
+	p := &Packet{BTH: BTH{Opcode: OpSendOnly}, Payload: []byte("data")}
+	raw, _ := p.Marshal()
+	raw[BTHBytes] ^= 0x01
+	if _, err := Parse(raw); err == nil {
+		t.Fatal("corrupted packet parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short packet parsed")
+	}
+	p := &Packet{BTH: BTH{Opcode: OpReadRequest}} // missing RETH
+	if _, err := p.Marshal(); err == nil {
+		t.Fatal("missing RETH not rejected")
+	}
+	if _, err := TransportBytes(0xff, 0); err == nil {
+		t.Fatal("unknown opcode sized")
+	}
+}
+
+// Property: Marshal/Parse round-trips arbitrary payloads for every
+// payload-carrying opcode.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, qp, psn uint32) bool {
+		p := &Packet{
+			BTH:     BTH{Opcode: OpSendOnly, DestQP: qp & 0xffffff, PSN: psn & 0xffffff},
+			Payload: payload,
+		}
+		raw, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Parse(raw)
+		if err != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(got.Payload) == 0
+		}
+		return bytes.Equal(got.Payload, payload) && got.BTH.DestQP == qp&0xffffff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameBytesMonotonic(t *testing.T) {
+	prev := 0
+	for _, n := range []int{0, 1, 64, 512, 4096} {
+		fb, err := FrameBytes(OpWriteOnly, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fb <= prev {
+			t.Fatalf("frame bytes not increasing: %d after %d", fb, prev)
+		}
+		prev = fb
+	}
+}

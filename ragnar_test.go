@@ -1,0 +1,132 @@
+// Tests exercising the public API surface exactly as a downstream user
+// would: only the ragnar package, no internal imports.
+package ragnar_test
+
+import (
+	"testing"
+
+	"github.com/thu-has/ragnar"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cluster := ragnar.NewCluster(ragnar.DefaultClusterConfig(ragnar.CX5))
+	mr, err := cluster.RegisterServerMR(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := cluster.Dial(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Warm(conn, mr); err != nil {
+		t.Fatal(err)
+	}
+	prober := &ragnar.Prober{
+		QP: conn.QP, CQ: conn.CQ,
+		Remote: mr.Describe(0), MsgSize: 64, Depth: 8,
+	}
+	samples, err := prober.Measure(cluster.Eng, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ragnar.SummarizeULI(samples)
+	if tr.Mean <= 0 || tr.N != 200 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestPublicContentionModel(t *testing.T) {
+	flows := []ragnar.FlowSpec{
+		{Name: "w", Op: ragnar.OpWrite, MsgBytes: 2048, QPNum: 4, Client: 0},
+		{Name: "r", Op: ragnar.OpRead, MsgBytes: 1024, QPNum: 2, Client: 1},
+	}
+	res := ragnar.SolveContention(ragnar.CX5, flows)
+	if len(res) != 2 || res[0].GoodputGbps <= 0 {
+		t.Fatalf("results = %+v", res)
+	}
+	solo := ragnar.SoloBandwidth(ragnar.CX5, flows[1])
+	if res[1].GoodputGbps >= solo.GoodputGbps {
+		t.Fatal("2KB write should depress the read")
+	}
+}
+
+func TestPublicCovertRoundTrip(t *testing.T) {
+	ch, err := ragnar.NewIntraMRChannel(ragnar.CX4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ragnar.ParseBits("1011001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := ch.Transmit(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.BandwidthBps < 30000 {
+		t.Fatalf("bandwidth = %v", run.Result.BandwidthBps)
+	}
+}
+
+func TestPublicProfileLookup(t *testing.T) {
+	p, ok := ragnar.ProfileByName("connectx-6")
+	if !ok || p.LineRateGbps != 200 {
+		t.Fatalf("lookup = %+v %v", p, ok)
+	}
+	if len(ragnar.Profiles) != 3 {
+		t.Fatal("profile list incomplete")
+	}
+}
+
+func TestPublicTreeAndDB(t *testing.T) {
+	cfg := ragnar.DefaultClusterConfig(ragnar.CX6)
+	cfg.Clients = 2
+	cluster := ragnar.NewCluster(cfg)
+	ms, err := ragnar.NewMemoryServer(cluster, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ragnar.NewTreeClient(cluster, ms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v [ragnar.TreeValueBytes]byte
+	v[0] = 42
+	if err := client.Insert(7, v); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := client.Get(7)
+	if err != nil || !ok || got[0] != 42 {
+		t.Fatalf("tree get: %v %v %v", got[0], ok, err)
+	}
+
+	db, err := ragnar.NewDB(cluster, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]ragnar.Row, 50)
+	for i := range rows {
+		rows[i].Key = uint64(i)
+	}
+	db.LoadTable("t", rows)
+	if err := db.Shuffle("t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDefense(t *testing.T) {
+	ch, err := ragnar.NewIntraMRChannel(ragnar.CX4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uninstall := ragnar.NoiseMitigation(ch.Cluster.Server.NIC(), 500*ragnar.Nanosecond, ch.Cluster.Eng.Rand())
+	defer uninstall()
+	bits := ragnar.RandomBits(3, 32)
+	run, err := ch.Transmit(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.ErrorRate == 0 {
+		t.Fatal("noise mitigation should corrupt the channel")
+	}
+}
