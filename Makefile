@@ -1,0 +1,33 @@
+# Canonical verification entry points (wired into README).
+#
+#   make check   - everything CI needs: vet, build, race-enabled tests, and
+#                  the parallel-vs-sequential equivalence check
+#   make test    - plain test run (tier-1: go build ./... && go test ./...)
+#   make bench   - regenerate the paper artifacts via the benchmark harness
+
+GO ?= go
+
+.PHONY: check vet build test race equivalence bench
+
+check: vet build race equivalence
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short-mode equivalence: the determinism suites plus an end-to-end CLI diff
+# of -workers=1 vs -workers=4 output on the converted experiments.
+equivalence:
+	$(GO) test -run 'Deterministic|Golden|StableAcross' ./internal/parallel ./internal/revengine ./internal/experiments
+	./scripts/equivalence.sh
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -55,12 +55,12 @@ func BenchmarkTable3Adapters(b *testing.B) {
 func BenchmarkFig4PrioritySweep(b *testing.B) {
 	var r experiments.Fig4Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.Fig4(nic.CX4, true)
+		r = experiments.Fig4(nic.CX4, true, 0)
 	}
 	b.ReportMetric(float64(r.Combos), "combos")
 	printOnce("Figure 4 (CX-4)", r.Render())
-	printOnce("Figure 4 (CX-5)", experiments.Fig4(nic.CX5, true).Render())
-	printOnce("Figure 4 (CX-6)", experiments.Fig4(nic.CX6, true).Render())
+	printOnce("Figure 4 (CX-5)", experiments.Fig4(nic.CX5, true, 0).Render())
+	printOnce("Figure 4 (CX-6)", experiments.Fig4(nic.CX6, true, 0).Render())
 }
 
 // BenchmarkFig5InterMRULI measures ULI for same vs different remote MRs
@@ -73,7 +73,7 @@ func BenchmarkFig5InterMRULI(b *testing.B) {
 	var r experiments.Fig5Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.Fig5(nic.CX4, probes, int64(i)+1)
+		r, err = experiments.Fig5(nic.CX4, probes, int64(i)+1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +102,7 @@ func BenchmarkFig8RelOffset(b *testing.B) {
 	benchOffsets(b, "Figure 8", experiments.Fig8)
 }
 
-func benchOffsets(b *testing.B, name string, run func(nic.Profile, int, int64) (experiments.OffsetResult, error)) {
+func benchOffsets(b *testing.B, name string, run func(nic.Profile, int, int64, int) (experiments.OffsetResult, error)) {
 	b.Helper()
 	probes := 200
 	if full() {
@@ -111,7 +111,7 @@ func benchOffsets(b *testing.B, name string, run func(nic.Profile, int, int64) (
 	var r experiments.OffsetResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = run(nic.CX4, probes, int64(i)+1)
+		r, err = run(nic.CX4, probes, int64(i)+1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func benchOffsets(b *testing.B, name string, run func(nic.Profile, int, int64) (
 func BenchmarkFig9PriorityChannel(b *testing.B) {
 	var r experiments.Fig9Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.Fig9(int64(i) + 1)
+		r = experiments.Fig9(int64(i)+1, 0)
 	}
 	worst := 0.0
 	for _, run := range r.Runs {
@@ -155,7 +155,7 @@ func BenchmarkFig11InterMR(b *testing.B) {
 	var r experiments.Fig11Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.Fig11(int64(i) + 1)
+		r, err = experiments.Fig11(int64(i)+1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +173,7 @@ func BenchmarkTable5CovertChannels(b *testing.B) {
 	var r experiments.Table5Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.Table5(bits, int64(i)+1)
+		r, err = experiments.Table5(bits, int64(i)+1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

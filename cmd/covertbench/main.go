@@ -8,15 +8,18 @@
 //	covertbench -channel priority -nic cx4
 //	covertbench -channel pythia -nic cx5 -bits 64
 //	covertbench -channel intramr -nic cx6 -message "attack at dawn"
+//	covertbench -channel all -bits 128 -workers 8   # full Table V grid, parallel
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/thu-has/ragnar/internal/bitstream"
 	"github.com/thu-has/ragnar/internal/covert"
+	"github.com/thu-has/ragnar/internal/experiments"
 	"github.com/thu-has/ragnar/internal/nic"
 	"github.com/thu-has/ragnar/internal/pcap"
 	"github.com/thu-has/ragnar/internal/pythia"
@@ -24,11 +27,12 @@ import (
 )
 
 func main() {
-	channel := flag.String("channel", "intermr", "priority, intermr, intramr or pythia")
+	channel := flag.String("channel", "intermr", "priority, intermr, intramr, pythia, or all (Table V grid)")
 	nicName := flag.String("nic", "cx5", "adapter (cx4, cx5, cx6)")
 	bits := flag.Int("bits", 256, "random payload length (ignored with -message)")
 	message := flag.String("message", "", "ASCII payload to transmit instead of random bits")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for -channel all (1 = sequential; results are identical at any count)")
 	pcapPath := flag.String("pcap", "", "capture the sender's wire traffic to this pcap file (intermr/intramr)")
 	flag.Parse()
 
@@ -84,6 +88,12 @@ func main() {
 			fatalf("%v", err)
 		}
 		report(run.Result, payload, run.Decoded, *message)
+	case "all":
+		r, err := experiments.Table5(*bits, *seed, *workers)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(r.Render())
 	case "pythia":
 		ch, err := pythia.New(prof, *seed)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/thu-has/ragnar/internal/experiments"
 	"github.com/thu-has/ragnar/internal/nic"
@@ -22,6 +23,7 @@ func main() {
 	nicName := flag.String("nic", "cx4", "adapter for single-NIC experiments (cx4, cx5, cx6)")
 	full := flag.Bool("full", false, "run paper-scale parameter spaces (slower)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for sweeps (1 = sequential; results are identical at any count)")
 	perClass := flag.Int("perclass", 12, "fig13 traces per class (paper: ~395)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	flag.Parse()
@@ -43,7 +45,7 @@ func main() {
 			"fig9", "fig10", "fig11", "table5", "pythia", "fig12", "fig13", "defense"}
 	}
 	for _, exp := range args {
-		if err := run(exp, prof, *full, *seed, *perClass); err != nil {
+		if err := run(exp, prof, *full, *seed, *perClass, *workers); err != nil {
 			fatalf("%s: %v", exp, err)
 		}
 	}
@@ -63,7 +65,7 @@ func emit(result any, render func() string) error {
 	return enc.Encode(result)
 }
 
-func run(exp string, prof nic.Profile, full bool, seed int64, perClass int) error {
+func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers int) error {
 	probes := 200
 	if full {
 		probes = 600
@@ -76,37 +78,37 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass int) erro
 		fmt.Print(experiments.RenderTable3())
 	case "fig4":
 		for _, p := range pick(prof, full) {
-			r := experiments.Fig4(p, full)
+			r := experiments.Fig4(p, full, workers)
 			if err := emit(r, r.Render); err != nil {
 				return err
 			}
 		}
 	case "fig5":
-		r, err := experiments.Fig5(prof, probes, seed)
+		r, err := experiments.Fig5(prof, probes, seed, workers)
 		if err != nil {
 			return err
 		}
 		return emit(r, r.Render)
 	case "fig6":
-		r, err := experiments.Fig6(prof, probes, seed)
+		r, err := experiments.Fig6(prof, probes, seed, workers)
 		if err != nil {
 			return err
 		}
 		return emit(r, r.Render)
 	case "fig7":
-		r, err := experiments.Fig7(prof, probes, seed)
+		r, err := experiments.Fig7(prof, probes, seed, workers)
 		if err != nil {
 			return err
 		}
 		return emit(r, r.Render)
 	case "fig8":
-		r, err := experiments.Fig8(prof, probes, seed)
+		r, err := experiments.Fig8(prof, probes, seed, workers)
 		if err != nil {
 			return err
 		}
 		return emit(r, r.Render)
 	case "fig9":
-		r := experiments.Fig9(seed)
+		r := experiments.Fig9(seed, workers)
 		return emit(r, r.Render)
 	case "fig10":
 		r, err := experiments.Fig10(seed)
@@ -115,7 +117,7 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass int) erro
 		}
 		return emit(r, r.Render)
 	case "fig11":
-		r, err := experiments.Fig11(seed)
+		r, err := experiments.Fig11(seed, workers)
 		if err != nil {
 			return err
 		}
@@ -125,7 +127,7 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass int) erro
 		if full {
 			bits = 1024
 		}
-		r, err := experiments.Table5(bits, seed)
+		r, err := experiments.Table5(bits, seed, workers)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/thu-has/ragnar/internal/lab"
 	"github.com/thu-has/ragnar/internal/nic"
@@ -23,6 +24,7 @@ import (
 func main() {
 	nicName := flag.String("nic", "cx4", "adapter (cx4, cx5, cx6)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for sweeps (1 = sequential; results are identical at any count)")
 	flag.Parse()
 	prof, ok := nic.ProfileByName(*nicName)
 	if !ok {
@@ -37,11 +39,11 @@ func main() {
 	case "pair":
 		err = pair(prof, rest)
 	case "offsets":
-		err = offsets(prof, rest, *seed, false)
+		err = offsets(prof, rest, *seed, false, *workers)
 	case "reloffsets":
-		err = offsets(prof, rest, *seed, true)
+		err = offsets(prof, rest, *seed, true, *workers)
 	case "intermr":
-		err = interMR(prof, rest, *seed)
+		err = interMR(prof, rest, *seed, *workers)
 	case "linearity":
 		err = linearity(prof)
 	default:
@@ -88,7 +90,7 @@ func parseOp(s string) nic.Opcode {
 	}
 }
 
-func offsets(prof nic.Profile, args []string, seed int64, relative bool) error {
+func offsets(prof nic.Profile, args []string, seed int64, relative bool, workers int) error {
 	fs := flag.NewFlagSet("offsets", flag.ExitOnError)
 	size := fs.Int("size", 64, "read size")
 	from := fs.Uint64("from", 0, "first offset")
@@ -107,9 +109,9 @@ func offsets(prof nic.Profile, args []string, seed int64, relative bool) error {
 	var points []revengine.OffsetPoint
 	var err error
 	if relative {
-		points, err = revengine.RelOffsetSweep(prof, *size, offs, *probes, seed)
+		points, err = revengine.RelOffsetSweep(prof, *size, offs, *probes, seed, workers)
 	} else {
-		points, err = revengine.AbsOffsetSweep(prof, *size, offs, *probes, seed)
+		points, err = revengine.AbsOffsetSweep(prof, *size, offs, *probes, seed, workers)
 	}
 	if err != nil {
 		return err
@@ -128,11 +130,11 @@ func mode(rel bool) string {
 	return "absolute"
 }
 
-func interMR(prof nic.Profile, args []string, seed int64) error {
+func interMR(prof nic.Profile, args []string, seed int64, workers int) error {
 	fs := flag.NewFlagSet("intermr", flag.ExitOnError)
 	probes := fs.Int("probes", 300, "probes per point")
 	fs.Parse(args)
-	points, err := revengine.InterMRSweep(prof, []int{64, 128, 256, 512, 1024, 2048, 4096}, *probes, seed)
+	points, err := revengine.InterMRSweep(prof, []int{64, 128, 256, 512, 1024, 2048, 4096}, *probes, seed, workers)
 	if err != nil {
 		return err
 	}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"github.com/thu-has/ragnar/internal/bitstream"
 	"github.com/thu-has/ragnar/internal/covert"
 	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/parallel"
 	"github.com/thu-has/ragnar/internal/pythia"
 	"github.com/thu-has/ragnar/internal/sim"
 )
@@ -20,12 +22,19 @@ type Fig9Result struct {
 }
 
 // Fig9 transmits the paper's bitstream over the priority channel on every
-// adapter.
-func Fig9(seed int64) Fig9Result {
+// adapter, one worker per NIC. Every run keeps the same per-NIC seed it had
+// sequentially, so the traces are unchanged at any worker count.
+func Fig9(seed int64, workers int) Fig9Result {
+	runs, err := parallel.Map(context.Background(), workers, nic.Profiles,
+		func(_ context.Context, _ int, p nic.Profile) (*covert.PriorityRun, error) {
+			return covert.NewPriorityChannel(p).Transmit(Fig9Bits, seed), nil
+		})
+	if err != nil {
+		panic(err) // only a captured worker panic: the cell fn never errors
+	}
 	out := Fig9Result{Runs: map[string]*covert.PriorityRun{}}
-	for _, p := range nic.Profiles {
-		ch := covert.NewPriorityChannel(p)
-		out.Runs[p.Name] = ch.Transmit(Fig9Bits, seed)
+	for i, p := range nic.Profiles {
+		out.Runs[p.Name] = runs[i]
 	}
 	return out
 }
@@ -112,24 +121,31 @@ type Fig11Result struct {
 }
 
 // Fig11 folds the inter-MR channel's ULI over a two-bit period on all NICs
-// under the best parameter combinations.
-func Fig11(seed int64) (Fig11Result, error) {
+// under the best parameter combinations, one worker per NIC.
+func Fig11(seed int64, workers int) (Fig11Result, error) {
 	out := Fig11Result{Folds: map[string]covert.FoldedTrace{}}
 	bits := make(bitstream.Bits, 24)
 	for i := range bits {
 		bits[i] = byte(i % 2)
 	}
-	for _, p := range nic.Profiles {
-		ch, err := covert.NewInterMRChannel(p, seed)
-		if err != nil {
-			return out, err
-		}
-		ch.BoundaryJitter = 0
-		run, err := ch.Transmit(bits)
-		if err != nil {
-			return out, err
-		}
-		out.Folds[p.Name] = run.Folded
+	folds, err := parallel.Map(context.Background(), workers, nic.Profiles,
+		func(_ context.Context, _ int, p nic.Profile) (covert.FoldedTrace, error) {
+			ch, err := covert.NewInterMRChannel(p, seed)
+			if err != nil {
+				return covert.FoldedTrace{}, err
+			}
+			ch.BoundaryJitter = 0
+			run, err := ch.Transmit(bits)
+			if err != nil {
+				return covert.FoldedTrace{}, err
+			}
+			return run.Folded, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for i, p := range nic.Profiles {
+		out.Folds[p.Name] = folds[i]
 	}
 	return out, nil
 }
@@ -167,41 +183,61 @@ type Table5Result struct {
 	Rows []Table5Row
 }
 
+// table5Cell is one channel x NIC evaluation of Table V, in the table's
+// canonical row order (priority rows, then inter-MR, then intra-MR).
+type table5Cell struct {
+	kind string // "priority", "intermr", "intramr"
+	p    nic.Profile
+}
+
+func table5Cells() []table5Cell {
+	var cells []table5Cell
+	for _, kind := range []string{"priority", "intermr", "intramr"} {
+		for _, p := range nic.Profiles {
+			cells = append(cells, table5Cell{kind: kind, p: p})
+		}
+	}
+	return cells
+}
+
 // Table5 evaluates all three covert channels on all three adapters with a
-// random payload of the given length.
-func Table5(bits int, seed int64) (Table5Result, error) {
+// random payload of the given length, one worker per cell. Every cell
+// builds its own simulated cluster from the shared experiment seed (the
+// cells were already independent rigs sequentially), so rows are identical
+// at any worker count and stay in canonical order.
+func Table5(bits int, seed int64, workers int) (Table5Result, error) {
 	payload := bitstream.RandomBits(uint64(seed)|1, bits)
-	var out Table5Result
-	for _, p := range nic.Profiles {
-		pr := covert.NewPriorityChannel(p)
-		// The ~1 bps channel uses a short payload or it would take minutes
-		// of virtual time for no added information.
-		run := pr.Transmit(payload[:min(16, len(payload))], seed)
-		out.Rows = append(out.Rows, row(run.Result))
-	}
-	for _, p := range nic.Profiles {
-		ch, err := covert.NewInterMRChannel(p, seed)
-		if err != nil {
-			return out, err
-		}
-		run, err := ch.Transmit(payload)
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, row(run.Result))
-	}
-	for _, p := range nic.Profiles {
-		ch, err := covert.NewIntraMRChannel(p, seed)
-		if err != nil {
-			return out, err
-		}
-		run, err := ch.Transmit(payload)
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, row(run.Result))
-	}
-	return out, nil
+	rows, err := parallel.Map(context.Background(), workers, table5Cells(),
+		func(_ context.Context, _ int, cell table5Cell) (Table5Row, error) {
+			switch cell.kind {
+			case "priority":
+				// The ~1 bps channel uses a short payload or it would take
+				// minutes of virtual time for no added information.
+				run := covert.NewPriorityChannel(cell.p).Transmit(payload[:min(16, len(payload))], seed)
+				return row(run.Result), nil
+			case "intermr":
+				ch, err := covert.NewInterMRChannel(cell.p, seed)
+				if err != nil {
+					return Table5Row{}, err
+				}
+				run, err := ch.Transmit(payload)
+				if err != nil {
+					return Table5Row{}, err
+				}
+				return row(run.Result), nil
+			default: // intramr
+				ch, err := covert.NewIntraMRChannel(cell.p, seed)
+				if err != nil {
+					return Table5Row{}, err
+				}
+				run, err := ch.Transmit(payload)
+				if err != nil {
+					return Table5Row{}, err
+				}
+				return row(run.Result), nil
+			}
+		})
+	return Table5Result{Rows: rows}, err
 }
 
 func row(r covert.Result) Table5Row {

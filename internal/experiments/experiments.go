@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/thu-has/ragnar/internal/nic"
@@ -86,8 +87,9 @@ type Fig4Result struct {
 }
 
 // Fig4 runs the contention sweep. full=false uses a representative subset
-// (fast); full=true runs the paper-scale >6000-combination space.
-func Fig4(p nic.Profile, full bool) Fig4Result {
+// (fast); full=true runs the paper-scale >6000-combination space. workers
+// shards the sweep (0 = NumCPU, 1 = sequential) without changing a cell.
+func Fig4(p nic.Profile, full bool, workers int) Fig4Result {
 	space := revengine.DefaultSweepSpace()
 	if !full {
 		space.SizesA = []int{64, 512, 4096, 65536}
@@ -96,7 +98,7 @@ func Fig4(p nic.Profile, full bool) Fig4Result {
 		space.QPsB = []int{2, 4}
 		space.IncludeReverse = true
 	}
-	cells := revengine.PrioritySweep(p, space)
+	cells := revengine.PrioritySweep(p, space, workers)
 	return Fig4Result{NIC: p.Name, Cells: cells, Combos: space.Size()}
 }
 
@@ -116,7 +118,20 @@ func (r Fig4Result) Render() string {
 		blocks[k][c.IndicatorCat]++
 	}
 	fmt.Fprintf(&b, "%-22s %8s %8s %8s %8s %9s\n", "Inducer/Indicator", "none", "slight", "half", "severe", "increase")
-	for k, cat := range blocks {
+	// Sort the op-pair blocks so the rendered rows are reproducible (map
+	// iteration order is randomised; the golden tests depend on this).
+	keys := make([]key, 0, len(blocks))
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].bop < keys[j].bop
+	})
+	for _, k := range keys {
+		cat := blocks[k]
 		fmt.Fprintf(&b, "%-22s %8d %8d %8d %8d %9d\n",
 			fmt.Sprintf("%v vs %v", k.a, k.bop),
 			cat[revengine.ReductionNone], cat[revengine.ReductionSlight],
@@ -162,8 +177,8 @@ type Fig5Result struct {
 
 // Fig5 measures ULI for same-vs-different remote MRs across message sizes
 // on CX-4 (the paper's Figure 5 configuration).
-func Fig5(p nic.Profile, probes int, seed int64) (Fig5Result, error) {
-	points, err := revengine.InterMRSweep(p, []int{64, 128, 256, 512, 1024, 2048, 4096}, probes, seed)
+func Fig5(p nic.Profile, probes int, seed int64, workers int) (Fig5Result, error) {
+	points, err := revengine.InterMRSweep(p, []int{64, 128, 256, 512, 1024, 2048, 4096}, probes, seed, workers)
 	return Fig5Result{NIC: p.Name, Points: points}, err
 }
 
@@ -191,26 +206,26 @@ type OffsetResult struct {
 }
 
 // Fig6 sweeps absolute offsets with 64 B reads (structure at 8/64/2048 B).
-func Fig6(p nic.Profile, probes int, seed int64) (OffsetResult, error) {
+func Fig6(p nic.Profile, probes int, seed int64, workers int) (OffsetResult, error) {
 	offsets := offsetsAround()
-	points, err := revengine.AbsOffsetSweep(p, 64, offsets, probes, seed)
+	points, err := revengine.AbsOffsetSweep(p, 64, offsets, probes, seed, workers)
 	return OffsetResult{NIC: p.Name, Figure: "Figure 6 (abs offset, 64B reads)", MsgSize: 64, Points: points}, err
 }
 
 // Fig7 sweeps absolute offsets with 1024 B reads.
-func Fig7(p nic.Profile, probes int, seed int64) (OffsetResult, error) {
+func Fig7(p nic.Profile, probes int, seed int64, workers int) (OffsetResult, error) {
 	offsets := offsetsAround()
-	points, err := revengine.AbsOffsetSweep(p, 1024, offsets, probes, seed)
+	points, err := revengine.AbsOffsetSweep(p, 1024, offsets, probes, seed, workers)
 	return OffsetResult{NIC: p.Name, Figure: "Figure 7 (abs offset, 1024B reads)", MsgSize: 1024, Points: points}, err
 }
 
 // Fig8 sweeps relative offsets with 64 B reads (bank-conflict periodicity).
-func Fig8(p nic.Profile, probes int, seed int64) (OffsetResult, error) {
+func Fig8(p nic.Profile, probes int, seed int64, workers int) (OffsetResult, error) {
 	var deltas []uint64
 	for d := uint64(64); d <= 2304; d += 64 {
 		deltas = append(deltas, d)
 	}
-	points, err := revengine.RelOffsetSweep(p, 64, deltas, probes, seed)
+	points, err := revengine.RelOffsetSweep(p, 64, deltas, probes, seed, workers)
 	return OffsetResult{NIC: p.Name, Figure: "Figure 8 (rel offset, 64B reads)", MsgSize: 64, Points: points}, err
 }
 

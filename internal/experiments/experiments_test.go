@@ -33,7 +33,7 @@ func TestRenderTable3(t *testing.T) {
 }
 
 func TestFig4SubsetShowsKeyFindings(t *testing.T) {
-	r := Fig4(nic.CX4, false)
+	r := Fig4(nic.CX4, false, 0)
 	if len(r.Cells) == 0 {
 		t.Fatal("empty sweep")
 	}
@@ -47,7 +47,7 @@ func TestFig4SubsetShowsKeyFindings(t *testing.T) {
 }
 
 func TestFig5RunsAndOrdersMRs(t *testing.T) {
-	r, err := Fig5(nic.CX4, 120, 3)
+	r, err := Fig5(nic.CX4, 120, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestFig5RunsAndOrdersMRs(t *testing.T) {
 }
 
 func TestFig9AllNICsZeroError(t *testing.T) {
-	r := Fig9(7)
+	r := Fig9(7, 0)
 	for name, run := range r.Runs {
 		if run.Result.ErrorRate != 0 {
 			t.Errorf("%s: error %.2f", name, run.Result.ErrorRate)
@@ -74,7 +74,7 @@ func TestFig9AllNICsZeroError(t *testing.T) {
 }
 
 func TestTable5ShapesMatchPaper(t *testing.T) {
-	r, err := Table5(96, 5)
+	r, err := Table5(96, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,14 +192,14 @@ func TestFig12Robustness(t *testing.T) {
 }
 
 func TestFig6Fig7Fig8Smoke(t *testing.T) {
-	r6, err := Fig6(nic.CX4, 60, 3)
+	r6, err := Fig6(nic.CX4, 60, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(r6.Points) == 0 || !strings.Contains(r6.Render(), "Figure 6") {
 		t.Fatal("fig6 empty")
 	}
-	r7, err := Fig7(nic.CX4, 60, 3)
+	r7, err := Fig7(nic.CX4, 60, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestFig6Fig7Fig8Smoke(t *testing.T) {
 		t.Fatalf("1KB ULI (%.0f) not above 64B ULI (%.0f)",
 			r7.Points[0].Trace.Mean, r6.Points[0].Trace.Mean)
 	}
-	r8, err := Fig8(nic.CX4, 60, 3)
+	r8, err := Fig8(nic.CX4, 60, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestFig6Fig7Fig8Smoke(t *testing.T) {
 }
 
 func TestFig11AllNICs(t *testing.T) {
-	r, err := Fig11(5)
+	r, err := Fig11(5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package nic
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/thu-has/ragnar/internal/fabric"
 	"github.com/thu-has/ragnar/internal/host"
@@ -211,10 +212,12 @@ type NIC struct {
 }
 
 // New creates a NIC on a host. Call AddPeerLink before any traffic flows.
-var nicSeq uint32
+// nicSeq is atomic because parallel sweeps build clusters concurrently; it
+// only feeds the synthetic IP below, which never influences timing.
+var nicSeq atomic.Uint32
 
 func New(eng *sim.Engine, name string, p Profile, h *host.Host, numa int) *NIC {
-	nicSeq++
+	seq := nicSeq.Add(1)
 	n := &NIC{
 		Name: name, eng: eng, prof: p, hst: h, numa: numa,
 		tpu:      NewTPU(p, eng.Rand()),
@@ -225,7 +228,7 @@ func New(eng *sim.Engine, name string, p Profile, h *host.Host, numa int) *NIC {
 		pend:     make(map[uint64]*pending),
 		counters: newCounters(),
 	}
-	n.ip = [4]byte{10, 0, byte(nicSeq >> 8), byte(nicSeq)}
+	n.ip = [4]byte{10, 0, byte(seq >> 8), byte(seq)}
 	// The DMA engine holds several outstanding tags; the TPU is a single
 	// in-order translation pipeline — that is what makes the remote-address
 	// offset the first-order term of ULI (Key Finding 4).

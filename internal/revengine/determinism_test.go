@@ -1,0 +1,148 @@
+package revengine
+
+// Determinism regression suite: the parallel sweep engine must guarantee
+// that worker count changes only wall-clock time, never a single sweep
+// cell. Every converted sweep is run sequentially (workers=1) and compared
+// byte-for-byte against runs at 2 and NumCPU workers with the same seed.
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/nic"
+)
+
+// workerCounts are the worker settings every sweep is cross-checked at.
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// assertIdentical fails unless got is deeply equal to want; the rendered
+// %#v forms are compared too so any drift shows up byte-level in the
+// failure message.
+func assertIdentical(t *testing.T, workers int, want, got any) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("workers=%d diverged from sequential run:\nseq: %#v\npar: %#v", workers, want, got)
+	}
+	if fmt.Sprintf("%#v", want) != fmt.Sprintf("%#v", got) {
+		t.Fatalf("workers=%d: rendered forms differ", workers)
+	}
+}
+
+func TestPrioritySweepDeterministicAcrossWorkers(t *testing.T) {
+	space := SweepSpace{
+		OpPairs: [][2]nic.Opcode{
+			{nic.OpWrite, nic.OpRead},
+			{nic.OpRead, nic.OpWrite},
+			{nic.OpAtomicFAA, nic.OpRead},
+		},
+		SizesA:         []int{64, 1024, 65536},
+		SizesB:         []int{256, 4096},
+		QPsA:           []int{1, 4},
+		QPsB:           []int{2},
+		IncludeReverse: true,
+	}
+	for _, p := range nic.Profiles {
+		want := PrioritySweep(p, space, 1)
+		if len(want) != space.Size() {
+			t.Fatalf("%s: %d cells, want %d", p.Name, len(want), space.Size())
+		}
+		for _, w := range workerCounts()[1:] {
+			assertIdentical(t, w, want, PrioritySweep(p, space, w))
+		}
+	}
+}
+
+func TestAbsOffsetSweepDeterministicAcrossWorkers(t *testing.T) {
+	offsets := []uint64{0, 7, 8, 63, 64, 65, 2048, 2055, 4096}
+	const seed = 11
+	want, err := AbsOffsetSweep(nic.CX4, 64, offsets, 120, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts()[1:] {
+		got, err := AbsOffsetSweep(nic.CX4, 64, offsets, 120, seed, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, w, want, got)
+	}
+}
+
+func TestRelOffsetSweepDeterministicAcrossWorkers(t *testing.T) {
+	deltas := []uint64{64, 512, 1024, 1088, 2048}
+	const seed = 13
+	want, err := RelOffsetSweep(nic.CX4, 64, deltas, 120, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts()[1:] {
+		got, err := RelOffsetSweep(nic.CX4, 64, deltas, 120, seed, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, w, want, got)
+	}
+}
+
+func TestInterMRSweepDeterministicAcrossWorkers(t *testing.T) {
+	sizes := []int{64, 512, 2048}
+	const seed = 17
+	want, err := InterMRSweep(nic.CX4, sizes, 120, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts()[1:] {
+		got, err := InterMRSweep(nic.CX4, sizes, 120, seed, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, w, want, got)
+	}
+}
+
+// TestSweepStableAcrossRepeatedRuns guards the other half of determinism:
+// repeated parallel runs in one process must agree with each other (no
+// leakage through package-level state like the prober epoch or NIC
+// sequence counters).
+func TestSweepStableAcrossRepeatedRuns(t *testing.T) {
+	offsets := []uint64{0, 64, 2048}
+	first, err := AbsOffsetSweep(nic.CX4, 64, offsets, 100, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		again, err := AbsOffsetSweep(nic.CX4, 64, offsets, 100, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, 0, first, again)
+	}
+}
+
+// TestSweepCellSeedIsPositionIndependent pins the seeding convention: a
+// cell's trace depends only on (seed, cell identity), so measuring one
+// offset alone reproduces exactly what the full sweep measured for it.
+func TestSweepCellSeedIsPositionIndependent(t *testing.T) {
+	offsets := []uint64{0, 7, 64, 2048}
+	full, err := AbsOffsetSweep(nic.CX4, 64, offsets, 100, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, off := range offsets {
+		solo, err := AbsOffsetSweep(nic.CX4, 64, []uint64{off}, 100, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(full[i], solo[0]) {
+			t.Fatalf("offset %d: sweep cell %+v != solo cell %+v", off, full[i], solo[0])
+		}
+	}
+}

@@ -6,10 +6,14 @@
 package revengine
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"github.com/thu-has/ragnar/internal/lab"
 	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/parallel"
+	"github.com/thu-has/ragnar/internal/sim"
 	"github.com/thu-has/ragnar/internal/uli"
 	"github.com/thu-has/ragnar/internal/verbs"
 )
@@ -126,37 +130,27 @@ func (s SweepSpace) Size() int {
 	return n
 }
 
-// PrioritySweep evaluates every combination in the space on the given
-// adapter using the fluid contention model and returns the matrix. Atomic
-// inducers ignore SizesA (atomics are 8 B by definition).
-func PrioritySweep(p nic.Profile, space SweepSpace) []SweepCell {
-	var out []SweepCell
-	soloCache := map[string]nic.FlowResult{}
-	solo := func(f nic.FlowSpec) nic.FlowResult {
-		key := fmt.Sprintf("%d/%d/%d/%v", f.Op, f.MsgBytes, f.QPNum, f.FromServer)
-		if r, ok := soloCache[key]; ok {
-			return r
-		}
-		r := nic.Solo(p, f)
-		soloCache[key] = r
-		return r
-	}
+// Cells enumerates the space's (inducer, indicator) flow pairs in canonical
+// sweep order — the order PrioritySweep's output follows at any worker
+// count. Atomic inducers ignore SizesA (atomics are 8 B by definition).
+func (s SweepSpace) Cells() [][2]nic.FlowSpec {
 	reverses := []bool{false}
-	if space.IncludeReverse {
+	if s.IncludeReverse {
 		reverses = []bool{false, true}
 	}
-	for _, pair := range space.OpPairs {
-		for _, sa := range space.SizesA {
-			for _, sb := range space.SizesB {
-				for _, qa := range space.QPsA {
-					for _, qb := range space.QPsB {
+	out := make([][2]nic.FlowSpec, 0, s.Size())
+	for _, pair := range s.OpPairs {
+		for _, sa := range s.SizesA {
+			for _, sb := range s.SizesB {
+				for _, qa := range s.QPsA {
+					for _, qb := range s.QPsB {
 						for _, rev := range reverses {
 							a := nic.FlowSpec{Name: "inducer", Op: pair[0], MsgBytes: sa, QPNum: qa, Client: 0}
 							b := nic.FlowSpec{Name: "indicator", Op: pair[1], MsgBytes: sb, QPNum: qb, Client: 1, FromServer: rev}
 							if a.Op == nic.OpAtomicFAA || a.Op == nic.OpAtomicCAS {
 								a.MsgBytes = 8
 							}
-							out = append(out, evalCell(p, a, b, solo))
+							out = append(out, [2]nic.FlowSpec{a, b})
 						}
 					}
 				}
@@ -164,6 +158,37 @@ func PrioritySweep(p nic.Profile, space SweepSpace) []SweepCell {
 		}
 	}
 	return out
+}
+
+// PrioritySweep evaluates every combination in the space on the given
+// adapter using the fluid contention model and returns the matrix, sharded
+// across `workers` goroutines (0 = NumCPU, 1 = sequential). The fluid
+// solver is a pure function of (profile, flows), so cells are independent
+// and the matrix is identical at any worker count, in Cells() order.
+func PrioritySweep(p nic.Profile, space SweepSpace, workers int) []SweepCell {
+	// Solo goodputs repeat across cells; memoise them. nic.Solo is pure, so
+	// concurrent duplicate computation is only wasted work, never a wrong
+	// or nondeterministic value — first-stored wins and all values agree.
+	var soloCache sync.Map
+	solo := func(f nic.FlowSpec) nic.FlowResult {
+		key := fmt.Sprintf("%d/%d/%d/%v", f.Op, f.MsgBytes, f.QPNum, f.FromServer)
+		if r, ok := soloCache.Load(key); ok {
+			return r.(nic.FlowResult)
+		}
+		r := nic.Solo(p, f)
+		soloCache.Store(key, r)
+		return r
+	}
+	cells, err := parallel.Map(context.Background(), workers, space.Cells(),
+		func(_ context.Context, _ int, pair [2]nic.FlowSpec) (SweepCell, error) {
+			return evalCell(p, pair[0], pair[1], solo), nil
+		})
+	if err != nil {
+		// The cell fn never returns an error, so this can only be a captured
+		// worker panic — surface it as the panic it was.
+		panic(err)
+	}
+	return cells
 }
 
 func evalCell(p nic.Profile, a, b nic.FlowSpec, solo func(nic.FlowSpec) nic.FlowResult) SweepCell {
@@ -223,74 +248,76 @@ func newProbeRig(p nic.Profile, seed int64, mrs int, depth int) (*lab.Cluster, *
 // AbsOffsetSweep reproduces Figures 6 and 7: alternately access offset 0 and
 // a variable offset with msgSize RDMA Reads in the same remote MR, and
 // report the ULI trace at each offset.
-func AbsOffsetSweep(p nic.Profile, msgSize int, offsets []uint64, probesPer int, seed int64) ([]OffsetPoint, error) {
-	c, conn, mrs, err := newProbeRig(p, seed, 1, 8)
-	if err != nil {
-		return nil, err
-	}
-	mr := mrs[0]
-	out := make([]OffsetPoint, 0, len(offsets))
-	for _, off := range offsets {
-		off := off
-		prober := &uli.Prober{
-			QP: conn.QP, CQ: conn.CQ, Remote: mr.Describe(0), MsgSize: msgSize, Depth: 8,
-			NextOffset: func(i int) uint64 {
-				if i%2 == 0 {
-					return 0
-				}
-				return off
-			},
-		}
-		samples, err := prober.Measure(c.Eng, probesPer)
-		if err != nil {
-			return nil, err
-		}
-		// Summarise only the probes that touched the variable offset.
-		var at []uli.Sample
-		for _, s := range samples {
-			if s.Offset == off {
-				at = append(at, s)
+//
+// Each offset is an independent cell: it gets its own probe rig (cluster,
+// connection, warmed MR) seeded with sim.DeriveSeed(seed, offset), so the
+// random stream a cell sees depends only on (seed, offset) — never on which
+// worker ran it or what other cells did. Traces are identical at any
+// worker count.
+func AbsOffsetSweep(p nic.Profile, msgSize int, offsets []uint64, probesPer int, seed int64, workers int) ([]OffsetPoint, error) {
+	return parallel.Map(context.Background(), workers, offsets,
+		func(_ context.Context, _ int, off uint64) (OffsetPoint, error) {
+			c, conn, mrs, err := newProbeRig(p, sim.DeriveSeed(seed, off), 1, 8)
+			if err != nil {
+				return OffsetPoint{}, err
 			}
-		}
-		if off == 0 {
-			at = samples
-		}
-		out = append(out, OffsetPoint{Offset: off, Trace: uli.Summarize(at)})
-	}
-	return out, nil
+			mr := mrs[0]
+			prober := &uli.Prober{
+				QP: conn.QP, CQ: conn.CQ, Remote: mr.Describe(0), MsgSize: msgSize, Depth: 8,
+				NextOffset: func(i int) uint64 {
+					if i%2 == 0 {
+						return 0
+					}
+					return off
+				},
+			}
+			samples, err := prober.Measure(c.Eng, probesPer)
+			if err != nil {
+				return OffsetPoint{}, err
+			}
+			// Summarise only the probes that touched the variable offset.
+			var at []uli.Sample
+			for _, s := range samples {
+				if s.Offset == off {
+					at = append(at, s)
+				}
+			}
+			if off == 0 {
+				at = samples
+			}
+			return OffsetPoint{Offset: off, Trace: uli.Summarize(at)}, nil
+		})
 }
 
 // RelOffsetSweep reproduces Figure 8: alternately access a base offset and
 // base+delta, and report the ULI trace as a function of the *relative*
-// offset delta.
-func RelOffsetSweep(p nic.Profile, msgSize int, deltas []uint64, probesPer int, seed int64) ([]OffsetPoint, error) {
-	c, conn, mrs, err := newProbeRig(p, seed, 1, 8)
-	if err != nil {
-		return nil, err
-	}
-	mr := mrs[0]
+// offset delta. Cells shard per delta exactly like AbsOffsetSweep.
+func RelOffsetSweep(p nic.Profile, msgSize int, deltas []uint64, probesPer int, seed int64, workers int) ([]OffsetPoint, error) {
 	// Fixed unaligned base so the absolute-offset structure stays constant
 	// while delta varies.
 	const base = 8192 + 4
-	out := make([]OffsetPoint, 0, len(deltas))
-	for _, d := range deltas {
-		d := d
-		prober := &uli.Prober{
-			QP: conn.QP, CQ: conn.CQ, Remote: mr.Describe(0), MsgSize: msgSize, Depth: 8,
-			NextOffset: func(i int) uint64 {
-				if i%2 == 0 {
-					return base
-				}
-				return base + d
-			},
-		}
-		samples, err := prober.Measure(c.Eng, probesPer)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, OffsetPoint{Offset: d, Trace: uli.Summarize(samples)})
-	}
-	return out, nil
+	return parallel.Map(context.Background(), workers, deltas,
+		func(_ context.Context, _ int, d uint64) (OffsetPoint, error) {
+			c, conn, mrs, err := newProbeRig(p, sim.DeriveSeed(seed, d), 1, 8)
+			if err != nil {
+				return OffsetPoint{}, err
+			}
+			mr := mrs[0]
+			prober := &uli.Prober{
+				QP: conn.QP, CQ: conn.CQ, Remote: mr.Describe(0), MsgSize: msgSize, Depth: 8,
+				NextOffset: func(i int) uint64 {
+					if i%2 == 0 {
+						return base
+					}
+					return base + d
+				},
+			}
+			samples, err := prober.Measure(c.Eng, probesPer)
+			if err != nil {
+				return OffsetPoint{}, err
+			}
+			return OffsetPoint{Offset: d, Trace: uli.Summarize(samples)}, nil
+		})
 }
 
 // InterMRPoint is one message size of the Figure 5 comparison.
@@ -302,35 +329,37 @@ type InterMRPoint struct {
 
 // InterMRSweep reproduces Figure 5: alternately access two addresses that
 // live either in the same remote MR or in two different remote MRs, across
-// message sizes.
-func InterMRSweep(p nic.Profile, sizes []int, probesPer int, seed int64) ([]InterMRPoint, error) {
-	c, conn, mrs, err := newProbeRig(p, seed, 2, 8)
-	if err != nil {
-		return nil, err
-	}
-	mrA, mrB := mrs[0], mrs[1]
-	out := make([]InterMRPoint, 0, len(sizes))
-	for _, size := range sizes {
-		measure := func(remotes [2]verbs.RemoteBuf) (uli.Trace, error) {
-			prober := &uli.Prober{
-				QP: conn.QP, CQ: conn.CQ, Remote: remotes[0], MsgSize: size, Depth: 8,
-				NextRemote: func(i int) verbs.RemoteBuf { return remotes[i%2] },
-			}
-			samples, err := prober.Measure(c.Eng, probesPer)
+// message sizes. Each message size is an independent cell with its own rig
+// seeded by sim.DeriveSeed(seed, size); the same-MR and different-MR
+// measurements of one cell share that rig (the figure compares them on
+// identical plumbing) and run back-to-back in fixed order.
+func InterMRSweep(p nic.Profile, sizes []int, probesPer int, seed int64, workers int) ([]InterMRPoint, error) {
+	return parallel.Map(context.Background(), workers, sizes,
+		func(_ context.Context, _ int, size int) (InterMRPoint, error) {
+			c, conn, mrs, err := newProbeRig(p, sim.DeriveSeed(seed, uint64(size)), 2, 8)
 			if err != nil {
-				return uli.Trace{}, err
+				return InterMRPoint{}, err
 			}
-			return uli.Summarize(samples), nil
-		}
-		same, err := measure([2]verbs.RemoteBuf{mrA.Describe(0), mrA.Describe(mrA.Size() / 2)})
-		if err != nil {
-			return nil, err
-		}
-		diff, err := measure([2]verbs.RemoteBuf{mrA.Describe(0), mrB.Describe(0)})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, InterMRPoint{MsgSize: size, SameMR: same, DiffMR: diff})
-	}
-	return out, nil
+			mrA, mrB := mrs[0], mrs[1]
+			measure := func(remotes [2]verbs.RemoteBuf) (uli.Trace, error) {
+				prober := &uli.Prober{
+					QP: conn.QP, CQ: conn.CQ, Remote: remotes[0], MsgSize: size, Depth: 8,
+					NextRemote: func(i int) verbs.RemoteBuf { return remotes[i%2] },
+				}
+				samples, err := prober.Measure(c.Eng, probesPer)
+				if err != nil {
+					return uli.Trace{}, err
+				}
+				return uli.Summarize(samples), nil
+			}
+			same, err := measure([2]verbs.RemoteBuf{mrA.Describe(0), mrA.Describe(mrA.Size() / 2)})
+			if err != nil {
+				return InterMRPoint{}, err
+			}
+			diff, err := measure([2]verbs.RemoteBuf{mrA.Describe(0), mrB.Describe(0)})
+			if err != nil {
+				return InterMRPoint{}, err
+			}
+			return InterMRPoint{MsgSize: size, SameMR: same, DiffMR: diff}, nil
+		})
 }

@@ -40,7 +40,7 @@ func TestPrioritySweepSubset(t *testing.T) {
 		QPsA:    []int{4},
 		QPsB:    []int{2},
 	}
-	cells := PrioritySweep(nic.CX4, space)
+	cells := PrioritySweep(nic.CX4, space, 0)
 	if len(cells) != 2 {
 		t.Fatalf("got %d cells", len(cells))
 	}
@@ -74,7 +74,7 @@ func TestPrioritySweepFindsAbnormalIncrease(t *testing.T) {
 		QPsA:    []int{4},
 		QPsB:    []int{4},
 	}
-	cells := PrioritySweep(nic.CX4, space)
+	cells := PrioritySweep(nic.CX4, space, 0)
 	found := false
 	for _, c := range cells {
 		if c.IndicatorCat == AbnormalIncrease && c.TotalPctOfSolo > 200 {
@@ -90,7 +90,7 @@ func TestAbsOffsetSweepStructure(t *testing.T) {
 	// Key Finding 4: 64 B-aligned offsets show lower ULI than unaligned
 	// neighbours; 8 B-aligned sit between.
 	offsets := []uint64{61, 63, 64, 65, 67, 128, 129, 136, 192}
-	points, err := AbsOffsetSweep(nic.CX4, 64, offsets, 400, 7)
+	points, err := AbsOffsetSweep(nic.CX4, 64, offsets, 400, 7, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestAbsOffsetSweep2048Periodicity(t *testing.T) {
 	// The 2048 B sawtooth: same phase 2048 apart gives close ULI; late
 	// phase exceeds early phase.
 	offsets := []uint64{68, 68 + 1024, 68 + 2048}
-	points, err := AbsOffsetSweep(nic.CX4, 64, offsets, 500, 9)
+	points, err := AbsOffsetSweep(nic.CX4, 64, offsets, 500, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestRelOffsetSweepBankConflicts(t *testing.T) {
 	// Relative offsets that land in the same TPU bank (multiples of
 	// 64*banks = 1024 on CX-4) show elevated ULI.
 	deltas := []uint64{64, 512, 1024, 1088, 2048}
-	points, err := RelOffsetSweep(nic.CX4, 64, deltas, 400, 11)
+	points, err := RelOffsetSweep(nic.CX4, 64, deltas, 400, 11, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestRelOffsetSweepBankConflicts(t *testing.T) {
 }
 
 func TestInterMRSweepFig5(t *testing.T) {
-	points, err := InterMRSweep(nic.CX4, []int{64, 512, 2048}, 300, 13)
+	points, err := InterMRSweep(nic.CX4, []int{64, 512, 2048}, 300, 13, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,22 @@
+package sim
+
+// DeriveSeed deterministically derives an independent engine seed for one
+// shard of a sharded experiment from the experiment's root seed. It is the
+// repo's seeding convention for parallel sweeps (DESIGN.md §6): every cell
+// of a sweep builds its own Engine with DeriveSeed(root, cell-index), so
+// the random stream a cell sees depends only on (root, index) — never on
+// worker count, scheduling order, or what other cells did. That is what
+// makes `-workers=1` and `-workers=N` produce byte-identical results.
+//
+// The mixer is splitmix64 (Steele et al., the finaliser Java's
+// SplittableRandom and xoshiro seeding use): a bijective avalanche over the
+// 64-bit input, so distinct (root, shard) pairs with the same root always
+// yield distinct seeds, and sequential shard indices land far apart in the
+// output space instead of giving correlated LCG streams.
+func DeriveSeed(root int64, shard uint64) int64 {
+	z := uint64(root) + (shard+1)*0x9E3779B97F4A7C15 // golden-ratio increment
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -197,7 +197,10 @@ func SolveContention(p Profile, flows []FlowSpec) []FlowResult { return nic.Solv
 // SoloBandwidth is a flow's uncontended allocation.
 func SoloBandwidth(p Profile, f FlowSpec) FlowResult { return nic.Solo(p, f) }
 
-// Sweeps behind Figures 4-8.
+// Sweeps behind Figures 4-8. Each takes a trailing workers argument (0 =
+// NumCPU, 1 = sequential); results are byte-identical at any worker count
+// because every cell derives its RNG stream from (seed, cell identity) —
+// see sim.DeriveSeed and DESIGN.md §6.
 var (
 	PrioritySweep  = revengine.PrioritySweep
 	AbsOffsetSweep = revengine.AbsOffsetSweep

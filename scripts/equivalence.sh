@@ -1,0 +1,22 @@
+#!/bin/sh
+# End-to-end parallel-vs-sequential equivalence check: the headline
+# correctness property of the sweep engine is that -workers changes only
+# wall-clock time, never a byte of output. Runs the converted experiments
+# through the real CLI at -workers=1 and -workers=4 and diffs the output.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/ragnar" ./cmd/ragnar
+
+for exp in fig4 fig5 fig6 fig8 table5; do
+	"$tmp/ragnar" -workers 1 -seed 7 "$exp" >"$tmp/seq.out"
+	"$tmp/ragnar" -workers 4 -seed 7 "$exp" >"$tmp/par.out"
+	if ! cmp -s "$tmp/seq.out" "$tmp/par.out"; then
+		echo "equivalence FAILED for $exp:" >&2
+		diff "$tmp/seq.out" "$tmp/par.out" >&2 || true
+		exit 1
+	fi
+	echo "equivalence OK: $exp (-workers=1 == -workers=4)"
+done
