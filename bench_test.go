@@ -187,6 +187,30 @@ func BenchmarkTable5CovertChannels(b *testing.B) {
 	printOnce("Table V", r.Render())
 }
 
+// BenchmarkLossGrid sweeps per-link wire loss against the ULI covert
+// channels on CX-5 and reports how much effective bandwidth 1% loss leaves.
+func BenchmarkLossGrid(b *testing.B) {
+	bits, reps := 96, 2
+	if full() {
+		bits, reps = 512, 5
+	}
+	var r experiments.LossGridResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.LossGrid(nic.CX5, bits, reps, nil, int64(i)+1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range r.Cells {
+		if c.Channel == "inter-MR(III)" && c.LossPct == 1 {
+			b.ReportMetric(c.EffectiveBps, "interMR-1pct-eff-bps")
+			b.ReportMetric(c.ErrorRate*100, "interMR-1pct-err-%")
+		}
+	}
+	printOnce("Loss grid", r.Render())
+}
+
 // BenchmarkPythiaBaseline runs the persistent-channel baseline and reports
 // the Ragnar/Pythia bandwidth factor (paper: 3.2x).
 func BenchmarkPythiaBaseline(b *testing.B) {

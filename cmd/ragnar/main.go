@@ -5,7 +5,7 @@
 //	ragnar [-nic cx4|cx5|cx6] [-full] [-seed N] <experiment> [...]
 //
 // Experiments: table1 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table5 pythia fig12 fig13 defense all
+// table5 lossgrid pythia fig12 fig13 defense all
 package main
 
 import (
@@ -30,7 +30,7 @@ func main() {
 	emitJSON = *jsonOut
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|pythia|fig12|fig13|defense|all>")
+		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|pythia|fig12|fig13|defense|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -42,7 +42,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "table5", "pythia", "fig12", "fig13", "defense"}
+			"fig9", "fig10", "fig11", "table5", "lossgrid", "pythia", "fig12", "fig13", "defense"}
 	}
 	for _, exp := range args {
 		if err := run(exp, prof, *full, *seed, *perClass, *workers); err != nil {
@@ -128,6 +128,16 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers 
 			bits = 1024
 		}
 		r, err := experiments.Table5(bits, seed, workers)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
+	case "lossgrid":
+		bits, reps := 96, 2
+		if full {
+			bits, reps = 512, 5
+		}
+		r, err := experiments.LossGrid(prof, bits, reps, nil, seed, workers)
 		if err != nil {
 			return err
 		}

@@ -80,23 +80,33 @@ func (b Bits) ToBytes() []byte {
 }
 
 // ErrorRate returns the fraction of positions where sent and received
-// disagree. When the lengths differ, the missing tail counts as errors,
-// matching how a covert receiver that loses symbols is scored.
+// disagree. Length asymmetry counts as errors in both directions: a missing
+// tail (recv shorter) and spurious extra symbols (recv longer) are each
+// wholly wrong, scored against the longer of the two streams — a decoder
+// that hallucinates symbols must not outscore an honest one.
 func ErrorRate(sent, recv Bits) float64 {
-	if len(sent) == 0 {
+	total := len(sent)
+	if len(recv) > total {
+		total = len(recv)
+	}
+	if total == 0 {
 		return 0
 	}
-	n := len(sent)
-	if len(recv) < n {
-		n = len(recv)
-	}
-	errs := len(sent) - n // lost tail
+	n := min(len(sent), len(recv))
+	errs := total - n // lost or spurious tail
 	for i := 0; i < n; i++ {
 		if sent[i] != recv[i] {
 			errs++
 		}
 	}
-	return float64(errs) / float64(len(sent))
+	return float64(errs) / float64(total)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // EffectiveBandwidth converts a raw channel bandwidth (bits/s) and a bit

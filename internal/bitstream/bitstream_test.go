@@ -49,19 +49,42 @@ func TestToBytesPadding(t *testing.T) {
 }
 
 func TestErrorRate(t *testing.T) {
-	sent := MustParseBits("1111")
-	if e := ErrorRate(sent, MustParseBits("1111")); e != 0 {
-		t.Fatalf("identical error rate = %v", e)
+	cases := []struct {
+		name       string
+		sent, recv string
+		want       float64
+	}{
+		{"identical", "1111", "1111", 0},
+		{"half wrong", "1111", "1010", 0.5},
+		{"all wrong", "1111", "0000", 1},
+		{"both empty", "", "", 0},
+		// Length asymmetry, short side: a lost tail is wholly wrong.
+		{"recv truncated", "1111", "11", 0.5},
+		{"recv empty", "1111", "", 1},
+		// Length asymmetry, long side: a decoder that hallucinates extra
+		// symbols is scored against its own longer stream, so the spurious
+		// tail counts as errors too (it must not outscore an honest decoder).
+		{"recv overlong", "11", "1111", 0.5},
+		{"sent empty", "", "1111", 1},
+		{"overlong with overlap errors", "10", "0011", 0.75},
+		{"truncated with overlap errors", "0011", "10", 0.75},
 	}
-	if e := ErrorRate(sent, MustParseBits("1010")); e != 0.5 {
-		t.Fatalf("half error rate = %v", e)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if e := ErrorRate(MustParseBits(c.sent), MustParseBits(c.recv)); e != c.want {
+				t.Fatalf("ErrorRate(%q, %q) = %v, want %v", c.sent, c.recv, e, c.want)
+			}
+		})
 	}
-	// Lost tail counts as errors.
-	if e := ErrorRate(sent, MustParseBits("11")); e != 0.5 {
-		t.Fatalf("truncated error rate = %v", e)
-	}
-	if e := ErrorRate(nil, nil); e != 0 {
-		t.Fatalf("empty error rate = %v", e)
+}
+
+// TestErrorRateLengthSymmetry pins the fix for the overlength bias: scoring
+// must be symmetric in which stream is longer.
+func TestErrorRateLengthSymmetry(t *testing.T) {
+	long := MustParseBits("10110010")
+	short := MustParseBits("1011")
+	if a, b := ErrorRate(long, short), ErrorRate(short, long); a != b {
+		t.Fatalf("asymmetric scoring: long,short=%v short,long=%v", a, b)
 	}
 }
 

@@ -126,10 +126,18 @@ func (ch *ULIChannel) Transmit(bits bitstream.Bits) (*ULIRun, error) {
 		if len(w) == 0 {
 			w = sampler.Window(from, to)
 		}
-		if len(w) == 0 {
+		switch {
+		case len(w) > 0:
+			means[k] = stats.Mean(w)
+		case k > 0:
+			// A transport stall (loss recovery) blanked the whole window: a
+			// real receiver free-runs on its last observation, so hold the
+			// previous symbol's mean. On a lossless fabric every window has
+			// samples and this arm never runs.
+			means[k] = means[k-1]
+		default:
 			return nil, fmt.Errorf("covert: symbol %d received no ULI samples (symbol time too short?)", k)
 		}
-		means[k] = stats.Mean(w)
 	}
 	decoded := decodeByThreshold(means, ch.OneIsHigher)
 

@@ -39,6 +39,25 @@ func features(d Snapshot) map[string]float64 {
 			f["pfc/"+itoa(uint32(tc))] = float64(v)
 		}
 	}
+	// Loss/reliability observables (only present when non-zero, so a
+	// lossless trace scores exactly as before these counters existed).
+	for tc, v := range d.WireDropsTC {
+		if v > 0 {
+			f["wiredrop/"+itoa(uint32(tc))] = float64(v)
+		}
+	}
+	if d.Retransmits > 0 {
+		f["retx"] = float64(d.Retransmits)
+	}
+	if d.SeqNaks > 0 {
+		f["nak_seq"] = float64(d.SeqNaks)
+	}
+	if d.Timeouts > 0 {
+		f["rtx_timeout"] = float64(d.Timeouts)
+	}
+	if d.RxCorrupt > 0 {
+		f["rx_corrupt"] = float64(d.RxCorrupt)
+	}
 	for k, v := range d.PerOpcode {
 		f["op/"+k.String()] = float64(v)
 	}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/nic"
+)
+
+// lossGridFixture is a reduced grid sized for the test suite; the golden file
+// pins its rendered rows (and checkGolden proves worker-count independence).
+func lossGridFixture(t *testing.T, workers int) LossGridResult {
+	t.Helper()
+	r, err := LossGrid(nic.CX5, 48, 2, []float64{0, 0.25, 1}, 1, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGoldenLossGridRender(t *testing.T) {
+	checkGolden(t, "lossgrid_cx5_small", func(workers int) string {
+		return lossGridFixture(t, workers).Render()
+	})
+}
+
+// TestLossGridDegradesMonotonically is the experiment's acceptance property:
+// along each channel's loss axis the effective bandwidth never increases, the
+// loss-0 row is pristine (no drops, no retransmissions), and every lossy row
+// shows transport recovery activity.
+func TestLossGridDegradesMonotonically(t *testing.T) {
+	r := lossGridFixture(t, 1)
+	perChannel := map[string][]LossCell{}
+	for _, c := range r.Cells {
+		perChannel[c.Channel] = append(perChannel[c.Channel], c)
+	}
+	if len(perChannel) != 2 {
+		t.Fatalf("channels = %d, want 2", len(perChannel))
+	}
+	for name, cells := range perChannel {
+		for i, c := range cells {
+			if c.LossPct == 0 {
+				if c.WireDrops != 0 || c.Retransmits != 0 {
+					t.Errorf("%s loss=0: drops=%d retx=%d, want pristine wire",
+						name, c.WireDrops, c.Retransmits)
+				}
+			} else {
+				if c.WireDrops == 0 {
+					t.Errorf("%s loss=%v: no wire drops recorded", name, c.LossPct)
+				}
+				if c.Retransmits == 0 {
+					t.Errorf("%s loss=%v: no retransmissions recorded", name, c.LossPct)
+				}
+			}
+			if i > 0 && c.EffectiveBps > cells[i-1].EffectiveBps {
+				t.Errorf("%s: effective bandwidth rose from %.1f bps (loss %v%%) to %.1f bps (loss %v%%)",
+					name, cells[i-1].EffectiveBps, cells[i-1].LossPct, c.EffectiveBps, c.LossPct)
+			}
+		}
+	}
+}

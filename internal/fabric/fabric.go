@@ -10,6 +10,7 @@ package fabric
 
 import (
 	"fmt"
+	"math/rand"
 
 	"github.com/thu-has/ragnar/internal/sim"
 )
@@ -23,6 +24,33 @@ type Packet struct {
 	TC      int // traffic class 0..7
 	Bytes   int // wire size including headers
 	Payload any
+	// Corrupt marks a packet whose payload integrity was lost in flight
+	// (FaultPlan corruption). The receiving NIC must treat it like an ICRC
+	// failure: discard without interpreting the payload.
+	Corrupt bool
+}
+
+// FaultPlan describes deterministic, seed-driven wire impairment applied to a
+// link on top of the tail-drop path: per-TC probabilistic drop, optional burst
+// loss (one drop decision takes out BurstLen consecutive packets of that TC),
+// and per-TC probabilistic corruption. The plan owns its own RNG stream,
+// derived only from Seed — it never touches the engine's RNG, so a link with
+// a nil or all-zero plan is event-for-event identical to an unimpaired link.
+type FaultPlan struct {
+	Seed        int64
+	DropProb    [NumTCs]float64
+	CorruptProb [NumTCs]float64
+	BurstLen    int // packets lost per drop decision; 0 or 1 means single loss
+}
+
+// UniformLoss is a convenience FaultPlan dropping every TC with the same
+// probability.
+func UniformLoss(seed int64, prob float64) FaultPlan {
+	p := FaultPlan{Seed: seed}
+	for tc := range p.DropProb {
+		p.DropProb[tc] = prob
+	}
+	return p
 }
 
 // SchedulerMode selects how a traffic class is served.
@@ -80,6 +108,13 @@ type Link struct {
 	txPackets [NumTCs]uint64
 	qDrops    [NumTCs]uint64
 	maxQueue  int
+
+	// Fault injection (nil plan = pristine wire).
+	plan       *FaultPlan
+	faultRNG   *rand.Rand
+	burstLeft  [NumTCs]int
+	faultDrops [NumTCs]uint64
+	corrupts   [NumTCs]uint64
 }
 
 // NewLink creates a link delivering packets to sink. maxQueue bounds each
@@ -200,6 +235,18 @@ func (l *Link) drain() {
 	l.eng.After(ser, func() {
 		l.txBytes[p.TC] += uint64(p.Bytes)
 		l.txPackets[p.TC]++
+		// The fault decision sits after serialization: a dropped packet was
+		// clocked onto the wire (tx counters see it) but never arrives.
+		drop, corrupt := l.fault(p.TC)
+		if drop {
+			l.faultDrops[p.TC]++
+			l.drain()
+			return
+		}
+		if corrupt {
+			l.corrupts[p.TC]++
+			p.Corrupt = true
+		}
 		l.eng.After(l.propDelay, func() {
 			if l.sink != nil {
 				l.sink(p)
@@ -207,6 +254,41 @@ func (l *Link) drain() {
 		})
 		l.drain()
 	})
+}
+
+// SetFaultPlan installs (or, with nil, clears) a fault-injection plan. The
+// plan is copied; its RNG is seeded from plan.Seed only, independent of the
+// engine's stream.
+func (l *Link) SetFaultPlan(plan *FaultPlan) {
+	if plan == nil {
+		l.plan, l.faultRNG = nil, nil
+		return
+	}
+	p := *plan
+	l.plan = &p
+	l.faultRNG = rand.New(rand.NewSource(p.Seed))
+	l.burstLeft = [NumTCs]int{}
+}
+
+// fault decides the fate of one departing packet under the installed plan.
+func (l *Link) fault(tc int) (drop, corrupt bool) {
+	if l.plan == nil {
+		return false, false
+	}
+	if l.burstLeft[tc] > 0 {
+		l.burstLeft[tc]--
+		return true, false
+	}
+	if p := l.plan.DropProb[tc]; p > 0 && l.faultRNG.Float64() < p {
+		if l.plan.BurstLen > 1 {
+			l.burstLeft[tc] = l.plan.BurstLen - 1
+		}
+		return true, false
+	}
+	if p := l.plan.CorruptProb[tc]; p > 0 && l.faultRNG.Float64() < p {
+		return false, true
+	}
+	return false, false
 }
 
 // QueueLen reports the backlog of one TC.
@@ -220,6 +302,12 @@ func (l *Link) TxPackets(tc int) uint64 { return l.txPackets[tc] }
 
 // Drops reports tail drops for one TC.
 func (l *Link) Drops(tc int) uint64 { return l.qDrops[tc] }
+
+// FaultDrops reports packets lost in flight by the FaultPlan for one TC.
+func (l *Link) FaultDrops(tc int) uint64 { return l.faultDrops[tc] }
+
+// Corrupts reports packets delivered with the Corrupt flag for one TC.
+func (l *Link) Corrupts(tc int) uint64 { return l.corrupts[tc] }
 
 // TotalTxBytes sums bytes across all TCs.
 func (l *Link) TotalTxBytes() uint64 {

@@ -275,3 +275,135 @@ func TestMultipleStrictClassesOrdered(t *testing.T) {
 		t.Fatalf("strict ordering = %v", order)
 	}
 }
+
+// collectLoss drives n same-TC packets through a link under plan and returns
+// which packet indices arrived (in order) plus the link's fault counters.
+func collectLoss(t *testing.T, plan *FaultPlan, n int) ([]int, *Link) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	var got []int
+	l := NewLink(eng, "l", 100, 0, 0, func(p Packet) {
+		got = append(got, p.Payload.(int))
+	})
+	l.SetFaultPlan(plan)
+	for i := 0; i < n; i++ {
+		if err := l.Send(Packet{TC: 0, Bytes: 256, Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	return got, l
+}
+
+// TestFaultPlanDeterministicDrops: the drop pattern is a pure function of the
+// plan seed — two identical runs lose exactly the same packets — and every
+// packet is either delivered or counted as a fault drop.
+func TestFaultPlanDeterministicDrops(t *testing.T) {
+	plan := UniformLoss(42, 0.3)
+	got1, l1 := collectLoss(t, &plan, 200)
+	got2, _ := collectLoss(t, &plan, 200)
+	if len(got1) != len(got2) {
+		t.Fatalf("deliveries differ: %d vs %d", len(got1), len(got2))
+	}
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("delivery %d differs: %d vs %d", i, got1[i], got2[i])
+		}
+	}
+	if l1.FaultDrops(0) == 0 {
+		t.Fatal("30% loss dropped nothing")
+	}
+	if int(l1.FaultDrops(0))+len(got1) != 200 {
+		t.Fatalf("drops %d + delivered %d != 200", l1.FaultDrops(0), len(got1))
+	}
+	other := UniformLoss(43, 0.3)
+	got3, _ := collectLoss(t, &other, 200)
+	same := len(got3) == len(got1)
+	if same {
+		for i := range got1 {
+			if got1[i] != got3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical loss pattern")
+	}
+}
+
+// TestFaultPlanBurstLoss: with BurstLen = 3 every drop decision removes at
+// least three consecutive packets of the TC, so every gap in the delivered
+// sequence (except one cut short by the end of the stream) spans >= 3.
+func TestFaultPlanBurstLoss(t *testing.T) {
+	plan := UniformLoss(7, 0.1)
+	plan.BurstLen = 3
+	got, l := collectLoss(t, &plan, 300)
+	if l.FaultDrops(0) == 0 {
+		t.Fatal("burst plan dropped nothing")
+	}
+	prev := -1
+	for i, v := range got {
+		gap := v - prev - 1
+		if gap != 0 && gap < 3 {
+			t.Fatalf("gap of %d before delivery %d (packet %d): bursts must span >= 3", gap, i, v)
+		}
+		prev = v
+	}
+}
+
+// TestFaultPlanCorruption: corruption flags packets without dropping them,
+// and the Corrupts counter tracks exactly the flagged deliveries.
+func TestFaultPlanCorruption(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var delivered, corrupt int
+	l := NewLink(eng, "l", 100, 0, 0, func(p Packet) {
+		delivered++
+		if p.Corrupt {
+			corrupt++
+		}
+	})
+	plan := FaultPlan{Seed: 5}
+	for tc := range plan.CorruptProb {
+		plan.CorruptProb[tc] = 1
+	}
+	l.SetFaultPlan(&plan)
+	for i := 0; i < 50; i++ {
+		if err := l.Send(Packet{TC: 2, Bytes: 128, Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if delivered != 50 || corrupt != 50 {
+		t.Fatalf("delivered %d corrupt %d, want 50/50", delivered, corrupt)
+	}
+	if l.Corrupts(2) != 50 || l.FaultDrops(2) != 0 {
+		t.Fatalf("counters: corrupts %d drops %d", l.Corrupts(2), l.FaultDrops(2))
+	}
+}
+
+// TestFaultPlanClear: a nil plan restores the pristine wire.
+func TestFaultPlanClear(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var delivered int
+	l := NewLink(eng, "l", 100, 0, 0, func(Packet) { delivered++ })
+	plan := UniformLoss(9, 1)
+	l.SetFaultPlan(&plan)
+	if err := l.Send(Packet{TC: 0, Bytes: 64, Payload: 0}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("100% loss delivered a packet")
+	}
+	l.SetFaultPlan(nil)
+	for i := 0; i < 10; i++ {
+		if err := l.Send(Packet{TC: 0, Bytes: 64, Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if delivered != 10 {
+		t.Fatalf("pristine wire delivered %d/10", delivered)
+	}
+}

@@ -21,6 +21,10 @@ type Cluster struct {
 	Server   *verbs.Context
 	ServerPD *verbs.PD
 	Clients  []*verbs.Context
+	// Links lists every fabric link in deterministic build order
+	// (client0->server, server->client0, client1->server, ...), so loss
+	// experiments can install fault plans and read drop counters.
+	Links []*fabric.Link
 }
 
 // Config parameterises a cluster.
@@ -72,10 +76,26 @@ func New(cfg Config) *Cluster {
 	net.PropDelay = 200 * sim.Nanosecond
 	for i := 0; i < cfg.Clients; i++ {
 		cl := verbs.NewContext(eng, fmt.Sprintf("client%d", i), cfg.ClientHW, cfg.Profile, 0)
-		net.ConnectContexts(cl, server, cfg.QoS)
+		w := net.ConnectContexts(cl, server, cfg.QoS)
+		c.Links = append(c.Links, w.AtoB, w.BtoA)
 		c.Clients = append(c.Clients, cl)
 	}
 	return c
+}
+
+// InjectLoss installs a uniform random-drop FaultPlan on every link of the
+// cluster. Each link's RNG stream is derived from seed and the link's index
+// with sim.DeriveSeed, so runs are reproducible and links are decorrelated.
+// prob 0 removes any installed plans.
+func (c *Cluster) InjectLoss(seed int64, prob float64) {
+	for i, l := range c.Links {
+		if prob <= 0 {
+			l.SetFaultPlan(nil)
+			continue
+		}
+		plan := fabric.UniformLoss(sim.DeriveSeed(seed, uint64(i)), prob)
+		l.SetFaultPlan(&plan)
+	}
 }
 
 // RegisterServerMR registers a remotely readable/writable MR of size bytes

@@ -65,7 +65,7 @@ func encodeSegments(m *Message, mtu int) ([][]byte, error) {
 	}
 
 	var out [][]byte
-	psn := uint32(m.Seq) & 0xffffff
+	psn := m.PSN & 0xffffff
 	for off := 0; off < len(m.Data); off += mtu {
 		end := off + mtu
 		if end > len(m.Data) {
@@ -107,8 +107,8 @@ func encodeSegments(m *Message, mtu int) ([][]byte, error) {
 }
 
 // encodeFrame builds the RoCEv2 transport encoding of a single-packet
-// message. The PSN carries the low 24 bits of the simulator sequence number
-// (RC PSNs wrap the same way).
+// message. The PSN carries the QP's 24-bit packet sequence number; an ACK's
+// AETH MSN carries the cumulative acknowledgement PSN.
 func encodeFrame(m *Message) ([]byte, error) {
 	op, err := opcodeToWire(m)
 	if err != nil {
@@ -118,7 +118,7 @@ func encodeFrame(m *Message) ([]byte, error) {
 		BTH: wire.BTH{
 			Opcode: op,
 			DestQP: m.DstQPN & 0xffffff,
-			PSN:    uint32(m.Seq) & 0xffffff,
+			PSN:    m.PSN & 0xffffff,
 			AckReq: !m.IsResp,
 		},
 	}
@@ -126,9 +126,9 @@ func encodeFrame(m *Message) ([]byte, error) {
 	case wire.OpWriteOnly, wire.OpReadRequest:
 		p.Reth = &wire.RETH{VA: m.RemoteAddr, RKey: m.RKey, DMALen: uint32(m.Length)}
 	case wire.OpReadResponseOnly, wire.OpAcknowledge:
-		p.Aeth = &wire.AETH{Syndrome: aethSyndrome(m.Status), MSN: uint32(m.Seq) & 0xffffff}
+		p.Aeth = &wire.AETH{Syndrome: aethSyndrome(m.Status), MSN: m.AckPSN & 0xffffff}
 	case wire.OpAtomicAck:
-		p.Aeth = &wire.AETH{Syndrome: aethSyndrome(m.Status), MSN: uint32(m.Seq) & 0xffffff}
+		p.Aeth = &wire.AETH{Syndrome: aethSyndrome(m.Status), MSN: m.AckPSN & 0xffffff}
 		p.AtomicAck = m.CompareAdd
 	case wire.OpCompareSwap:
 		p.Atomic = &wire.AtomicETH{VA: m.RemoteAddr, RKey: m.RKey, SwapAdd: m.Swap, Compare: m.CompareAdd}
@@ -147,6 +147,8 @@ func aethSyndrome(s Status) byte {
 	switch s {
 	case StatusOK:
 		return 0x00
+	case StatusSeqNak:
+		return 0x60 // NAK: PSN sequence error (go-back-N rewind request)
 	case StatusRemoteAccessError:
 		return 0x62 // NAK: remote access error
 	default:

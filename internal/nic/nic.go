@@ -46,6 +46,13 @@ const (
 	StatusOK Status = iota
 	StatusRemoteAccessError
 	StatusBadQP
+	// StatusSeqNak is a transport-level NAK (PSN sequence error): the
+	// responder saw a gap in the PSN stream. It never surfaces as a CQE —
+	// the requester rewinds and retransmits (go-back-N).
+	StatusSeqNak
+	// StatusRetryExcErr surfaces retry exhaustion as an error CQE, the
+	// simulator's IBV_WC_RETRY_EXC_ERR. The QP moves to the error state.
+	StatusRetryExcErr
 )
 
 func (s Status) String() string {
@@ -56,6 +63,10 @@ func (s Status) String() string {
 		return "REMOTE_ACCESS_ERROR"
 	case StatusBadQP:
 		return "BAD_QP"
+	case StatusSeqNak:
+		return "NAK_SEQ_ERR"
+	case StatusRetryExcErr:
+		return "RETRY_EXC_ERR"
 	}
 	return fmt.Sprintf("STATUS(%d)", int(s))
 }
@@ -74,6 +85,12 @@ type Message struct {
 	Seq        uint64
 	IsResp     bool
 	Status     Status
+	// PSN is the QP's 24-bit packet sequence number: assigned per request
+	// by the requester, echoed on the response. AckPSN is the cumulative
+	// acknowledgement a response carries (for a NAK: the last in-order PSN
+	// the responder received).
+	PSN    uint32
+	AckPSN uint32
 	// Atomic operands.
 	CompareAdd uint64
 	Swap       uint64
@@ -136,12 +153,35 @@ type qpState struct {
 	recvQueue  [][]byte
 	posted     uint64
 	completed  uint64
+
+	// Requester-side go-back-N transport state.
+	nextPSN       uint32     // next PSN to assign (24-bit)
+	outstanding   []*pending // in PSN order; retransmit set on timeout/NAK
+	retries       int        // consecutive timeouts without progress
+	rtxTimer      *sim.Event // pending retransmit timeout (nil when idle)
+	retryTimeout  sim.Duration
+	retryLimit    int
+	progressEpoch uint64 // bumped on every completion
+	rewindEpoch   uint64 // progressEpoch at the last NAK-triggered rewind
+	failed        bool   // retry budget exhausted: QP is in the error state
+
+	// Responder-side transport state.
+	epsn            uint32 // next expected PSN
+	nakArmed        bool   // one NAK-seq per gap until the stream recovers
+	atomicReplayOK  bool   // duplicate-atomic replay record (IB replay buffer)
+	atomicReplayPSN uint32
+	atomicReplayVal uint64
 }
 
 type pending struct {
-	wqe      *WQE
-	qpn      uint32
-	postTime sim.Time
+	wqe         *WQE
+	qpn         uint32
+	postTime    sim.Time
+	seq         uint64
+	psn         uint32
+	msg         *Message // retained for retransmission
+	lastSent    sim.Time // aging base for the retransmit timeout
+	retransmits int
 }
 
 // Counters aggregates the NIC's ethtool-visible and HARMONIC-visible
@@ -163,6 +203,21 @@ type Counters struct {
 	// native Grain-I signal the paper notes "modern RNIC provides ...
 	// to detect and defend Grain-I attacks easily".
 	PFCPauses [8]uint64
+
+	// Grain-I loss/reliability observables (ethtool: tx_discards,
+	// rp_cnp-style retransmit telemetry).
+	//
+	// WireDropsTC aggregates per-TC egress wire loss across this NIC's
+	// links: tail drops at the egress queue plus FaultPlan in-flight drops.
+	// It is refreshed from the links on every Counters() call.
+	WireDropsTC [8]uint64
+	Retransmits uint64 // requester packets re-sent (timeout or NAK rewind)
+	Timeouts    uint64 // retransmit timer expiries
+	DupAcks     uint64 // responses for already-completed WQEs, coalesced
+	DupReqs     uint64 // duplicate requests seen by the responder
+	SeqNaks     uint64 // NAK-sequence-errors sent by the responder
+	RetryExc    uint64 // QPs that exhausted their retry budget
+	RxCorrupt   uint64 // inbound packets discarded for corruption (ICRC)
 }
 
 func newCounters() Counters {
@@ -198,6 +253,13 @@ type NIC struct {
 	pend    map[uint64]*pending
 	nextSeq uint64
 
+	// RC retransmission defaults, overridable per QP via SetQPRetry. The
+	// default timeout is deliberately far above any in-sim RTT so that a
+	// lossless run never arms a spurious retransmission; lossy experiments
+	// tune it down per QP (as real stacks tune ibv_modify_qp timeout).
+	RetryTimeout sim.Duration
+	RetryLimit   int
+
 	counters Counters
 
 	// ResponderDelay is injected by defenses (noise mitigation) on every
@@ -227,6 +289,10 @@ func New(eng *sim.Engine, name string, p Profile, h *host.Host, numa int) *NIC {
 		mrs:      make(map[uint32]*MRInfo),
 		pend:     make(map[uint64]*pending),
 		counters: newCounters(),
+		// ~IB defaults: retry_cnt 7 with a multi-ms timeout (real HW uses
+		// 4.096 us << timeout, commonly tens of ms).
+		RetryTimeout: 4 * sim.Millisecond,
+		RetryLimit:   7,
 	}
 	n.ip = [4]byte{10, 0, byte(seq >> 8), byte(seq)}
 	// The DMA engine holds several outstanding tags; the TPU is a single
@@ -247,8 +313,19 @@ func (n *NIC) Profile() Profile { return n.prof }
 // its counters; Pythia needs its MTT).
 func (n *NIC) TPU() *TPU { return n.tpu }
 
-// Counters returns a snapshot view of the NIC counters.
-func (n *NIC) Counters() *Counters { return &n.counters }
+// Counters returns a snapshot view of the NIC counters. Per-TC wire-drop
+// counts are refreshed from the egress links (summing is order-independent,
+// so map iteration stays deterministic).
+func (n *NIC) Counters() *Counters {
+	var drops [8]uint64
+	for _, l := range n.links {
+		for tc := 0; tc < fabric.NumTCs; tc++ {
+			drops[tc] += l.Drops(tc) + l.FaultDrops(tc)
+		}
+	}
+	n.counters.WireDropsTC = drops
+	return &n.counters
+}
 
 // AddPeerLink attaches the transmit link toward a peer NIC. The verbs layer
 // calls this when wiring a topology.
@@ -260,7 +337,9 @@ func (n *NIC) CreateQP(qpn uint32, onComplete func(Completion), onRecv func(Recv
 	if _, dup := n.qps[qpn]; dup {
 		return fmt.Errorf("nic %s: QP %d already exists", n.Name, qpn)
 	}
-	n.qps[qpn] = &qpState{qpn: qpn, onComplete: onComplete, onRecv: onRecv}
+	// rewindEpoch starts off any valid progressEpoch so the first NAK of a
+	// connection's lifetime always triggers a rewind.
+	n.qps[qpn] = &qpState{qpn: qpn, onComplete: onComplete, onRecv: onRecv, rewindEpoch: ^uint64(0)}
 	return nil
 }
 
@@ -354,6 +433,9 @@ func (n *NIC) PostSend(qpn uint32, wqe *WQE) error {
 	if qp.peer == nil {
 		return fmt.Errorf("nic %s: QP %d not connected", n.Name, qpn)
 	}
+	if qp.failed {
+		return fmt.Errorf("nic %s: QP %d in error state (retry exhausted)", n.Name, qpn)
+	}
 	if wqe.TC < 0 || wqe.TC >= fabric.NumTCs {
 		return fmt.Errorf("nic %s: invalid TC %d", n.Name, wqe.TC)
 	}
@@ -387,15 +469,23 @@ func (n *NIC) PostSend(qpn uint32, wqe *WQE) error {
 func (n *NIC) launch(qp *qpState, wqe *WQE, post sim.Time) {
 	seq := n.nextSeq
 	n.nextSeq++
+	psn := qp.nextPSN
+	qp.nextPSN = (qp.nextPSN + 1) & psnMask
 	m := &Message{
 		Op: wqe.Op, SrcQPN: qp.qpn, DstQPN: qp.peerQPN,
 		RKey: wqe.RemoteKey, RemoteAddr: wqe.RemoteAddr, Length: wqe.Length,
-		Seq: seq, TC: wqe.TC, CompareAdd: wqe.CompareAdd, Swap: wqe.Swap,
+		Seq: seq, PSN: psn, TC: wqe.TC, CompareAdd: wqe.CompareAdd, Swap: wqe.Swap,
 	}
 	if wqe.Op == OpWrite || wqe.Op == OpSend {
 		m.Data = wqe.LocalData
 	}
-	n.pend[seq] = &pending{wqe: wqe, qpn: qp.qpn, postTime: post}
+	p := &pending{wqe: wqe, qpn: qp.qpn, postTime: post, seq: seq, psn: psn, msg: m,
+		lastSent: n.eng.Now()}
+	n.pend[seq] = p
+	qp.outstanding = append(qp.outstanding, p)
+	if qp.rtxTimer == nil {
+		n.armRetransmit(qp)
+	}
 	n.transmit(qp.peer, m, 0)
 }
 
@@ -439,9 +529,12 @@ func (n *NIC) transmit(dst *NIC, m *Message, ring int) {
 			}
 		}
 		if err := link.Send(fabric.Packet{TC: m.TC, Bytes: bytes, Payload: envelope{dst: dst, msg: m, frames: frames}}); err != nil {
-			// Tail drop: reliable transport would retransmit; the DES
-			// experiments never saturate queues, so surface loudly.
-			panic(fmt.Sprintf("nic %s: wire drop: %v", n.Name, err))
+			// Tail drop at the egress queue: the packet never reaches the
+			// wire. The RC transport recovers it — a lost request draws a
+			// NAK-seq or a retransmit timeout, a lost response a duplicate
+			// request — and the link's per-TC drop counter (surfaced through
+			// Counters().WireDropsTC) records the loss for Grain-I monitors.
+			return
 		}
 	})
 }
@@ -461,6 +554,13 @@ func Deliver(p fabric.Packet) {
 	env, ok := p.Payload.(envelope)
 	if !ok {
 		panic("nic: foreign payload on fabric")
+	}
+	if p.Corrupt {
+		// ICRC failure: the payload cannot be trusted, so the packet is
+		// dropped before any parsing — the transport recovers it exactly
+		// like an in-flight loss.
+		env.dst.counters.RxCorrupt++
+		return
 	}
 	if env.frames != nil {
 		// Wire fidelity: the frames must decode back to exactly the message
@@ -489,6 +589,37 @@ func (n *NIC) handleRequest(m *Message) {
 		// Receive backlog beyond the XOFF threshold: a lossless fabric
 		// would pause this priority now. Grain-I defenses key off this.
 		n.counters.PFCPauses[m.TC&7]++
+	}
+	// PSN sequencing (go-back-N responder). Requests on a connected QP must
+	// arrive in PSN order: an in-order request advances the expected PSN, a
+	// gap draws one NAK-seq per stall, and a duplicate (retransmission of an
+	// executed request) is replayed without re-execution where the verb
+	// demands it. On a lossless run every request takes the first arm.
+	if qp := n.qps[m.DstQPN]; qp != nil {
+		switch {
+		case m.PSN == qp.epsn:
+			qp.epsn = (qp.epsn + 1) & psnMask
+			qp.nakArmed = false
+		case psnAfter(m.PSN, qp.epsn):
+			// A gap: an earlier request was lost. NAK once per stall; later
+			// out-of-order arrivals are silently discarded until the stream
+			// recovers (IB sends a single NAK per syndrome).
+			if !qp.nakArmed {
+				qp.nakArmed = true
+				n.counters.SeqNaks++
+				n.rxPU.Submit(n.prof.RxPUTime, 0, func() {
+					n.respondNak(m, (qp.epsn-1)&psnMask)
+				})
+			}
+			return
+		default:
+			n.counters.DupReqs++
+			if n.replayDuplicate(qp, m) {
+				return
+			}
+			// Duplicate READ (or atomic without a replay record): RC
+			// re-executes it from scratch through the normal path below.
+		}
 	}
 	pkts := (m.Length + n.prof.MTU - 1) / n.prof.MTU
 	if pkts < 1 {
@@ -613,6 +744,12 @@ func (n *NIC) oneSided(qp *qpState, m *Message) {
 						put64(b, newVal)
 						mr.Region.WriteAt(offset, b)
 					}
+					// Record the result for duplicate replay: a
+					// retransmitted atomic must not execute twice (the IB
+					// responder keeps a one-deep atomic replay buffer).
+					qp.atomicReplayOK = true
+					qp.atomicReplayPSN = m.PSN
+					qp.atomicReplayVal = orig
 					n.respond(m, StatusOK, nil, orig)
 				})
 			})
@@ -629,6 +766,7 @@ func (n *NIC) respond(req *Message, st Status, data []byte, atomicOrig uint64) {
 	resp := &Message{
 		Op: req.Op, SrcQPN: req.DstQPN, DstQPN: req.SrcQPN,
 		Seq: req.Seq, IsResp: true, Status: st, TC: req.TC,
+		PSN: req.PSN, AckPSN: req.PSN,
 		Length: 0, Data: data, CompareAdd: atomicOrig,
 	}
 	if req.Op == OpRead && st == StatusOK {
@@ -648,10 +786,28 @@ func (n *NIC) respond(req *Message, st Status, data []byte, atomicOrig uint64) {
 func (n *NIC) handleResponse(m *Message) {
 	p := n.pend[m.Seq]
 	if p == nil {
-		return // duplicate/stale
+		// A response for an already-completed WQE: the original and a
+		// retransmission both drew an ACK. Coalesce — count it, deliver no
+		// second CQE.
+		n.counters.DupAcks++
+		return
+	}
+	qp := n.qps[p.qpn]
+	if m.Status == StatusSeqNak {
+		// Transport NAK: the responder is missing earlier requests. Rewind
+		// and retransmit; the WQE completes when a real ACK arrives.
+		if qp != nil {
+			n.handleSeqNak(qp, m)
+		}
+		return
 	}
 	delete(n.pend, m.Seq)
-	qp := n.qps[p.qpn]
+	if qp != nil {
+		qp.removeOutstanding(p)
+		qp.progressEpoch++
+		qp.retries = 0
+		n.armRetransmit(qp)
+	}
 	n.rxPU.Submit(n.prof.RxPUTime, 0, func() {
 		finish := func() {
 			n.hostDMA.Submit(n.dmaTransferTime(32)+n.prof.CQEWriteTime, 0, func() {

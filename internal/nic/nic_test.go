@@ -280,7 +280,7 @@ func TestLargeWriteSegmentsOnWire(t *testing.T) {
 		payload[i] = byte(i * 7)
 	}
 	m := &Message{Op: OpWrite, DstQPN: 9, RemoteAddr: 0x1000, RKey: 5,
-		Length: len(payload), Data: payload, Seq: 41}
+		Length: len(payload), Data: payload, Seq: 7, PSN: 41}
 	frames, err := encodeSegments(m, CX4.MTU)
 	if err != nil {
 		t.Fatal(err)

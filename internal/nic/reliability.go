@@ -1,0 +1,215 @@
+package nic
+
+import (
+	"fmt"
+
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+// RC go-back-N reliability: PSN tracking per QP, NAK-sequence-error
+// generation on the responder, retransmit timeout with exponential backoff
+// on the requester, and retry exhaustion surfacing as StatusRetryExcErr
+// CQEs (the simulator's IBV_WC_RETRY_EXC_ERR) with the QP moving to the
+// error state.
+//
+// The layer is timing-neutral on a lossless fabric: the retransmit timer is
+// armed and cancelled but never fires, the PSN check always takes its
+// in-order arm, and no extra packets or events are generated — which is what
+// keeps the golden experiment renders byte-identical at loss 0.
+
+// psnMask bounds the 24-bit packet sequence number space.
+const psnMask = 1<<24 - 1
+
+// psnAfter reports a > b in the circular 24-bit PSN order (half the space
+// ahead counts as "after", exactly like IB PSN comparison).
+func psnAfter(a, b uint32) bool {
+	d := (a - b) & psnMask
+	return d != 0 && d < 1<<23
+}
+
+// SetQPRetry overrides the retransmission parameters of one QP, mirroring
+// ibv_modify_qp's timeout/retry_cnt. Zero values fall back to the NIC-wide
+// defaults.
+func (n *NIC) SetQPRetry(qpn uint32, timeout sim.Duration, limit int) error {
+	qp, ok := n.qps[qpn]
+	if !ok {
+		return fmt.Errorf("nic %s: unknown QP %d", n.Name, qpn)
+	}
+	qp.retryTimeout = timeout
+	qp.retryLimit = limit
+	return nil
+}
+
+// QPFailed reports whether a QP has moved to the error state (retry budget
+// exhausted).
+func (n *NIC) QPFailed(qpn uint32) bool {
+	qp, ok := n.qps[qpn]
+	return ok && qp.failed
+}
+
+// removeOutstanding unlinks one pending entry from the QP's transport window.
+func (qp *qpState) removeOutstanding(p *pending) {
+	for i, q := range qp.outstanding {
+		if q == p {
+			qp.outstanding = append(qp.outstanding[:i], qp.outstanding[i+1:]...)
+			return
+		}
+	}
+}
+
+// retryParams resolves the QP's effective timeout base and retry limit.
+func (n *NIC) retryParams(qp *qpState) (sim.Duration, int) {
+	base := qp.retryTimeout
+	if base <= 0 {
+		base = n.RetryTimeout
+	}
+	limit := qp.retryLimit
+	if limit <= 0 {
+		limit = n.RetryLimit
+	}
+	return base, limit
+}
+
+// armRetransmit (re)arms the QP's retransmit timer: the previous timer is
+// cancelled and, while requests are outstanding, a new one is scheduled when
+// the OLDEST outstanding request will have aged a full timeout (base
+// left-shifted by the consecutive-timeout count — exponential backoff) since
+// it was last put on the wire. Aging the oldest entry rather than counting
+// from "now" matters under pipelining: ACKs for younger requests must not
+// keep pushing a lost request's retry into the future, or a deep QP starves
+// its stalled slot for as long as the rest of the window makes progress.
+// Cancelled events never fire, so on a lossless run this is pure bookkeeping.
+func (n *NIC) armRetransmit(qp *qpState) {
+	if qp.rtxTimer != nil {
+		qp.rtxTimer.Cancel()
+		qp.rtxTimer = nil
+	}
+	if len(qp.outstanding) == 0 || qp.failed {
+		return
+	}
+	base, _ := n.retryParams(qp)
+	shift := qp.retries
+	if shift > 16 {
+		shift = 16 // cap the backoff, not the retry count
+	}
+	wait := qp.outstanding[0].lastSent.Add(base << uint(shift)).Sub(n.eng.Now())
+	if wait < sim.Nanosecond {
+		wait = sim.Nanosecond // already overdue: fire on the next tick
+	}
+	qp.rtxTimer = n.eng.After(wait, func() { n.onRetryTimeout(qp) })
+}
+
+// onRetryTimeout fires when the oldest outstanding request has gone
+// unacknowledged for a full (backed-off) timeout: go-back-N resends the
+// whole window, or — past the retry limit — the QP fails and every
+// outstanding WQE completes with StatusRetryExcErr.
+func (n *NIC) onRetryTimeout(qp *qpState) {
+	qp.rtxTimer = nil
+	if qp.failed || len(qp.outstanding) == 0 {
+		return
+	}
+	_, limit := n.retryParams(qp)
+	if qp.retries >= limit {
+		n.failQP(qp)
+		return
+	}
+	qp.retries++
+	n.counters.Timeouts++
+	for _, p := range qp.outstanding {
+		p.retransmits++
+		p.lastSent = n.eng.Now()
+		n.counters.Retransmits++
+		n.transmit(qp.peer, p.msg, 0)
+	}
+	n.armRetransmit(qp)
+}
+
+// handleSeqNak is the requester side of a NAK-sequence-error: the responder
+// named the last PSN it received in order, so every outstanding request
+// after it is retransmitted immediately (fast recovery, no timeout wait).
+// Only one rewind happens per stall — rewindEpoch pins the rewind to the
+// current progressEpoch so a burst of stale NAKs cannot multiply the
+// retransmissions — and the timer remains the backstop.
+func (n *NIC) handleSeqNak(qp *qpState, m *Message) {
+	if qp.failed {
+		return
+	}
+	if qp.rewindEpoch == qp.progressEpoch {
+		return
+	}
+	qp.rewindEpoch = qp.progressEpoch
+	qp.retries = 0 // the responder is alive: restart the backoff schedule
+	for _, p := range qp.outstanding {
+		if psnAfter(p.psn, m.AckPSN) {
+			p.retransmits++
+			p.lastSent = n.eng.Now()
+			n.counters.Retransmits++
+			n.transmit(qp.peer, p.msg, 0)
+		}
+	}
+	n.armRetransmit(qp)
+}
+
+// failQP moves a QP to the error state: all outstanding WQEs flush with
+// StatusRetryExcErr CQEs (in posting order, each through the CQE write DMA),
+// and subsequent PostSends are rejected.
+func (n *NIC) failQP(qp *qpState) {
+	qp.failed = true
+	n.counters.RetryExc++
+	flush := qp.outstanding
+	qp.outstanding = nil
+	for _, p := range flush {
+		delete(n.pend, p.seq)
+		p := p
+		n.hostDMA.Submit(n.dmaTransferTime(32)+n.prof.CQEWriteTime, 0, func() {
+			qp.completed++
+			if qp.onComplete != nil {
+				qp.onComplete(Completion{
+					QPN: qp.qpn, WRID: p.wqe.WRID, Op: p.wqe.Op,
+					Status: StatusRetryExcErr, Bytes: p.wqe.Length,
+					PostTime: p.postTime, DoneTime: n.eng.Now(),
+				})
+			}
+		})
+	}
+}
+
+// respondNak sends a NAK-sequence-error for an out-of-order request. AckPSN
+// carries the last in-order PSN so the requester knows where to rewind.
+func (n *NIC) respondNak(req *Message, ackPSN uint32) {
+	n.counters.Responses++
+	n.counters.NAKs++
+	resp := &Message{
+		Op: req.Op, SrcQPN: req.DstQPN, DstQPN: req.SrcQPN,
+		Seq: req.Seq, IsResp: true, Status: StatusSeqNak, TC: req.TC,
+		PSN: req.PSN, AckPSN: ackPSN,
+	}
+	qp := n.qps[req.DstQPN]
+	if qp == nil || qp.peer == nil {
+		return
+	}
+	n.transmit(qp.peer, resp, 1)
+}
+
+// replayDuplicate handles a retransmitted request whose original was already
+// executed. WRITE/SEND re-ACK without touching memory or the receive queue;
+// atomics replay the recorded result (never execute twice). It returns false
+// for ops the responder must re-execute from scratch (READ, or an atomic
+// whose replay record was displaced), which RC permits because they are
+// idempotent from the requester's point of view.
+func (n *NIC) replayDuplicate(qp *qpState, m *Message) bool {
+	switch m.Op {
+	case OpWrite, OpSend:
+		n.rxPU.Submit(n.prof.RxPUTime, 0, func() { n.respond(m, StatusOK, nil, 0) })
+		return true
+	case OpAtomicFAA, OpAtomicCAS:
+		if qp.atomicReplayOK && qp.atomicReplayPSN == m.PSN {
+			val := qp.atomicReplayVal
+			n.rxPU.Submit(n.prof.RxPUTime, 0, func() { n.respond(m, StatusOK, nil, val) })
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}

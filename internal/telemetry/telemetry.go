@@ -21,6 +21,16 @@ type Snapshot struct {
 	PerOpcode map[nic.Opcode]uint64 // Grain-II: messages received per opcode
 	PerQP     map[uint32]uint64     // Grain-III: messages per QP
 	PerMR     map[uint32]uint64     // Grain-III: bytes per MR
+
+	// Grain-I loss/reliability observables (ethtool tx_discards and
+	// transport retransmit counters). All zero on a lossless fabric.
+	WireDropsTC [8]uint64 // per-TC egress wire loss (tail + fault drops)
+	Retransmits uint64    // requester packets re-sent
+	Timeouts    uint64    // retransmit timer expiries
+	SeqNaks     uint64    // NAK-sequence-errors sent by the responder
+	DupAcks     uint64    // duplicate ACKs coalesced by the requester
+	RetryExc    uint64    // QPs that exhausted their retry budget
+	RxCorrupt   uint64    // inbound packets discarded for corruption
 }
 
 // Snap reads the current counter state of a NIC.
@@ -36,6 +46,13 @@ func Snap(eng *sim.Engine, n *nic.NIC) Snapshot {
 	}
 	s.PerTC = c.RxBytesTC
 	s.PFCPauses = c.PFCPauses
+	s.WireDropsTC = c.WireDropsTC
+	s.Retransmits = c.Retransmits
+	s.Timeouts = c.Timeouts
+	s.SeqNaks = c.SeqNaks
+	s.DupAcks = c.DupAcks
+	s.RetryExc = c.RetryExc
+	s.RxCorrupt = c.RxCorrupt
 	for k, v := range c.RxMsgs {
 		s.PerOpcode[k] = v
 	}
@@ -58,9 +75,16 @@ func Delta(prev, cur Snapshot) Snapshot {
 		PerQP:     map[uint32]uint64{},
 		PerMR:     map[uint32]uint64{},
 	}
+	d.Retransmits = cur.Retransmits - prev.Retransmits
+	d.Timeouts = cur.Timeouts - prev.Timeouts
+	d.SeqNaks = cur.SeqNaks - prev.SeqNaks
+	d.DupAcks = cur.DupAcks - prev.DupAcks
+	d.RetryExc = cur.RetryExc - prev.RetryExc
+	d.RxCorrupt = cur.RxCorrupt - prev.RxCorrupt
 	for i := range cur.PerTC {
 		d.PerTC[i] = cur.PerTC[i] - prev.PerTC[i]
 		d.PFCPauses[i] = cur.PFCPauses[i] - prev.PFCPauses[i]
+		d.WireDropsTC[i] = cur.WireDropsTC[i] - prev.WireDropsTC[i]
 	}
 	for k, v := range cur.PerOpcode {
 		d.PerOpcode[k] = v - prev.PerOpcode[k]

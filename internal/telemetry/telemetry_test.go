@@ -82,3 +82,72 @@ func TestRateGbpsZeroWindow(t *testing.T) {
 		t.Fatal("zero window should yield 0")
 	}
 }
+
+// TestSnapshotTransportCounters: the reliability-layer observables — per-TC
+// wire drops, retransmissions, timeouts, NAKs, duplicate ACKs — flow from the
+// NIC counters into Snapshot/Delta like any other Grain-I series.
+func TestSnapshotTransportCounters(t *testing.T) {
+	c := lab.New(lab.DefaultConfig(nic.CX4))
+	mr, err := c.RegisterServerMR(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := c.Dial(0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.InjectLoss(21, 0.25)
+	if err := conn.QP.SetRetry(5*sim.Microsecond, 50); err != nil {
+		t.Fatal(err)
+	}
+	clientNIC := c.Clients[0].NIC()
+	before := Snap(c.Eng, clientNIC)
+	data := make([]byte, 256)
+	for i := 0; i < 40; i++ {
+		if err := conn.QP.PostWrite(uint64(i), data, mr.Describe(0), len(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Eng.Run()
+	d := Delta(before, Snap(c.Eng, clientNIC))
+	var drops uint64
+	for _, v := range d.WireDropsTC {
+		drops += v
+	}
+	if drops == 0 {
+		t.Fatal("25% loss left WireDropsTC at zero")
+	}
+	if d.Retransmits == 0 {
+		t.Fatal("25% loss produced no retransmissions")
+	}
+	if d.Retransmits < d.Timeouts {
+		t.Fatalf("timeouts %d without matching retransmissions %d", d.Timeouts, d.Retransmits)
+	}
+	// The loss-free control: a second cluster with no plan moves none of the
+	// transport counters.
+	c2 := lab.New(lab.DefaultConfig(nic.CX4))
+	mr2, err := c2.RegisterServerMR(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2, err := c2.Dial(0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := Snap(c2.Eng, c2.Clients[0].NIC())
+	for i := 0; i < 40; i++ {
+		if err := conn2.QP.PostWrite(uint64(i), data, mr2.Describe(0), len(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2.Eng.Run()
+	d2 := Delta(b2, Snap(c2.Eng, c2.Clients[0].NIC()))
+	if d2.Retransmits != 0 || d2.Timeouts != 0 || d2.SeqNaks != 0 || d2.DupAcks != 0 || d2.RetryExc != 0 || d2.RxCorrupt != 0 {
+		t.Fatalf("lossless run moved transport counters: %+v", d2)
+	}
+	for tc, v := range d2.WireDropsTC {
+		if v != 0 {
+			t.Fatalf("lossless run dropped on TC %d", tc)
+		}
+	}
+}

@@ -248,6 +248,16 @@ func (qp *QP) SetTC(tc int) { qp.tc = tc }
 // ErrSQFull is returned when the send queue is at MaxSendWR.
 var ErrSQFull = errors.New("verbs: send queue full")
 
+// WCRetryExcErr mirrors IBV_WC_RETRY_EXC_ERR: the transport exhausted its
+// retry budget and the WQE completed in error; the QP is in the error state.
+const WCRetryExcErr = nic.StatusRetryExcErr
+
+// SetRetry tunes the QP's transport retry behaviour — the simulator's
+// ibv_modify_qp timeout/retry_cnt. Zero values keep the NIC defaults.
+func (qp *QP) SetRetry(timeout sim.Duration, limit int) error {
+	return qp.ctx.dev.SetQPRetry(qp.qpn, timeout, limit)
+}
+
 // Outstanding reports WQEs posted but not yet completed — the paper's
 // len_sq for the ULI computation.
 func (qp *QP) Outstanding() int { return qp.inFlight }
@@ -327,7 +337,9 @@ func NewNetwork(eng *sim.Engine) *Network {
 
 // ConnectContexts creates the wire between two contexts (idempotent per
 // pair). Line rate follows the slower NIC. qos applies to both directions.
-func (n *Network) ConnectContexts(a, b *Context, qos fabric.QoSConfig) {
+// The returned wire exposes both links so callers can install fault plans
+// or read drop counters.
+func (n *Network) ConnectContexts(a, b *Context, qos fabric.QoSConfig) *fabric.Wire {
 	rate := a.dev.Profile().LineRateGbps
 	if rb := b.dev.Profile().LineRateGbps; rb < rate {
 		rate = rb
@@ -338,6 +350,7 @@ func (n *Network) ConnectContexts(a, b *Context, qos fabric.QoSConfig) {
 	ba.SetQoS(qos)
 	a.dev.AddPeerLink(b.dev, ab)
 	b.dev.AddPeerLink(a.dev, ba)
+	return &fabric.Wire{AtoB: ab, BtoA: ba}
 }
 
 // Connect establishes a reliable connection between two QPs whose contexts
