@@ -1,13 +1,15 @@
 # Canonical verification entry points (wired into README).
 #
-#   make check   - everything CI needs: vet, build, race-enabled tests, and
-#                  the parallel-vs-sequential equivalence check
-#   make test    - plain test run (tier-1: go build ./... && go test ./...)
-#   make bench   - regenerate the paper artifacts via the benchmark harness
+#   make check      - everything CI needs: vet, build, race-enabled tests, and
+#                     the parallel-vs-sequential equivalence check
+#   make test       - plain test run (tier-1: go build ./... && go test ./...)
+#   make bench      - regenerate the paper artifacts via the benchmark harness
+#   make trace-demo - sample flight-recorder trace from the lossy covert rig
+#                     (load trace-demo.json in chrome://tracing or Perfetto)
 
 GO ?= go
 
-.PHONY: check vet build test race equivalence bench
+.PHONY: check vet build test race equivalence bench trace-demo
 
 check: vet build race equivalence
 
@@ -31,3 +33,9 @@ equivalence:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# A lossy inter-MR run has the richest trace: go-back-N NAK/rewind/retransmit
+# chains, per-TC queueing spans and the receiver's ULI sample track.
+# EXPERIMENTS.md walks through reading one.
+trace-demo:
+	$(GO) run ./cmd/ragnar trace -o trace-demo.json lossgrid

@@ -24,6 +24,7 @@ import (
 	"github.com/thu-has/ragnar/internal/pcap"
 	"github.com/thu-has/ragnar/internal/pythia"
 	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/trace"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for -channel all (1 = sequential; results are identical at any count)")
 	pcapPath := flag.String("pcap", "", "capture the sender's wire traffic to this pcap file (intermr/intramr)")
+	tracePath := flag.String("trace", "", "record the run's flight-recorder trace to this Chrome trace JSON file")
 	flag.Parse()
 
 	prof, ok := nic.ProfileByName(*nicName)
@@ -45,12 +47,19 @@ func main() {
 		payload = bitstream.FromBytes([]byte(*message))
 	}
 
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder(*channel+"/"+prof.Name, trace.DefaultCapacity)
+		defer writeTrace(rec, *tracePath)
+	}
+
 	switch *channel {
 	case "priority":
 		if len(payload) > 32 {
 			payload = payload[:32] // ~1 bps: keep virtual time sane
 		}
 		ch := covert.NewPriorityChannel(prof)
+		ch.Trace = rec
 		run := ch.Transmit(payload, *seed)
 		report(run.Result, payload, run.Decoded, *message)
 	case "intermr", "intramr":
@@ -63,6 +72,10 @@ func main() {
 		}
 		if err != nil {
 			fatalf("%v", err)
+		}
+		if rec != nil {
+			ch.Cluster.AttachRecorder(rec)
+			ch.Trace = rec
 		}
 		if *pcapPath != "" {
 			f, err := os.Create(*pcapPath)
@@ -123,6 +136,21 @@ func report(r covert.Result, sent, got bitstream.Bits, message string) {
 		fmt.Printf("sent      %s\n", sent)
 		fmt.Printf("received  %s\n", got)
 	}
+}
+
+// writeTrace exports the recorder to a Chrome trace JSON file. Channels
+// without a recorder hook (pythia, the parallel all-grid) leave the recorder
+// empty; the file is still valid.
+func writeTrace(rec *trace.Recorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := trace.WriteChrome(f, rec); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("trace     %s (%d events)\n", path, rec.Len())
 }
 
 func fatalf(format string, args ...any) {

@@ -6,6 +6,11 @@
 //
 // Experiments: table1 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 // table5 lossgrid pythia fig12 fig13 defense all
+//
+// The trace subcommand re-runs an experiment rig with the flight recorder
+// attached and exports the event stream:
+//
+//	ragnar trace [-o out.json] [-text] <fig9|intermr|intramr|lossgrid>
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"github.com/thu-has/ragnar/internal/experiments"
 	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/trace"
 )
 
 func main() {
@@ -31,12 +37,20 @@ func main() {
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|pythia|fig12|fig13|defense|all>")
+		fmt.Fprintln(os.Stderr, "       ragnar [flags] trace [-o out.json] [-text] <fig9|intermr|intramr|lossgrid>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 	prof, ok := nic.ProfileByName(*nicName)
 	if !ok {
 		fatalf("unknown NIC %q", *nicName)
+	}
+
+	if flag.Arg(0) == "trace" {
+		if err := runTrace(flag.Args()[1:], prof, *seed); err != nil {
+			fatalf("trace: %v", err)
+		}
+		return
 	}
 
 	args := flag.Args()
@@ -168,6 +182,50 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers 
 		return emit(r, r.Render)
 	default:
 		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 pythia defense)")
+	}
+	return nil
+}
+
+// runTrace handles the trace subcommand: run one experiment rig with the
+// flight recorder attached, then export Chrome trace JSON (default) or the
+// text timeline. A summary of the run and the metrics digest go to stderr so
+// `-o -` keeps stdout machine-readable.
+func runTrace(argv []string, prof nic.Profile, seed int64) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	out := fs.String("o", "trace.json", "output path (- for stdout)")
+	text := fs.Bool("text", false, "emit the text timeline instead of Chrome JSON")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: ragnar trace [-o out.json] [-text] <fig9|intermr|intramr|lossgrid>")
+	}
+	o, err := experiments.Trace(fs.Arg(0), prof, seed)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *text {
+		err = o.WriteText(w)
+	} else {
+		err = o.WriteChrome(w)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(os.Stderr, o.Summary)
+	fmt.Fprint(os.Stderr, trace.Summary(o.Recorder))
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "trace: %d events (%d dropped by ring) -> %s\n",
+			o.Recorder.Len(), o.Recorder.Dropped(), *out)
 	}
 	return nil
 }

@@ -1,12 +1,14 @@
 package covert
 
 import (
+	"math"
 	"math/rand"
 
 	"github.com/thu-has/ragnar/internal/bitstream"
 	"github.com/thu-has/ragnar/internal/nic"
 	"github.com/thu-has/ragnar/internal/sim"
 	"github.com/thu-has/ragnar/internal/stats"
+	"github.com/thu-has/ragnar/internal/trace"
 )
 
 // PriorityChannel is the inter-traffic-class channel of Section V-B: the
@@ -27,6 +29,10 @@ type PriorityChannel struct {
 	// RelNoise is the relative sampling noise on windowed bandwidth
 	// (ethtool counters on a live system wobble ~1-2%).
 	RelNoise float64
+	// Trace, when set, records each sender symbol and each monitor bandwidth
+	// window (as a Chrome counter track). The fluid model has no sim engine,
+	// so event timestamps come from the channel's own symbol clock.
+	Trace *trace.Recorder
 }
 
 // NewPriorityChannel configures the paper's Figure 9 setup for a NIC.
@@ -72,7 +78,9 @@ func (ch *PriorityChannel) Transmit(bits bitstream.Bits, seed int64) *PriorityRu
 	bw1 := nic.Solve(ch.Profile, []nic.FlowSpec{ch.Bit1, ch.Monitor})[1].GoodputGbps
 	bw0 := nic.Solve(ch.Profile, []nic.FlowSpec{ch.Bit0, ch.Monitor})[1].GoodputGbps
 
-	var trace []TimePoint
+	txActor := ch.Trace.RegisterActor("covert/tx")
+	bwActor := ch.Trace.RegisterActor("monitor/bw")
+	var series []TimePoint
 	symbolMeans := make([]float64, len(bits))
 	now := sim.Time(0)
 	for k, b := range bits {
@@ -80,14 +88,18 @@ func (ch *PriorityChannel) Transmit(bits bitstream.Bits, seed int64) *PriorityRu
 		if b == 0 {
 			base = bw0
 		}
+		ch.Trace.Emit(trace.Event{At: int64(now), Kind: trace.KindSymbol,
+			Actor: txActor, Val: uint64(b), TC: -1})
 		var acc []float64
 		for w := 0; w < windowsPerSymbol; w++ {
 			bw := base * (1 + ch.RelNoise*rng.NormFloat64())
 			if bw < 0 {
 				bw = 0
 			}
-			trace = append(trace, TimePoint{T: now, BW: bw})
+			series = append(series, TimePoint{T: now, BW: bw})
 			acc = append(acc, bw)
+			ch.Trace.Emit(trace.Event{At: int64(now), Kind: trace.KindBWSample,
+				Actor: bwActor, Val: math.Float64bits(bw), TC: -1})
 			now = now.Add(ch.Window)
 		}
 		symbolMeans[k] = stats.Mean(acc)
@@ -98,7 +110,7 @@ func (ch *PriorityChannel) Transmit(bits bitstream.Bits, seed int64) *PriorityRu
 	bps := 1.0 / ch.SymbolTime.Seconds()
 	run := &PriorityRun{
 		Decoded: decoded,
-		Trace:   trace,
+		Trace:   series,
 		Result:  newResult("priority(I+II)", ch.Profile.Name, bps, bits, decoded),
 	}
 	return run

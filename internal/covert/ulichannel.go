@@ -9,6 +9,7 @@ import (
 	"github.com/thu-has/ragnar/internal/nic"
 	"github.com/thu-has/ragnar/internal/sim"
 	"github.com/thu-has/ragnar/internal/stats"
+	"github.com/thu-has/ragnar/internal/trace"
 	"github.com/thu-has/ragnar/internal/traffic"
 	"github.com/thu-has/ragnar/internal/uli"
 	"github.com/thu-has/ragnar/internal/verbs"
@@ -44,6 +45,10 @@ type ULIChannel struct {
 	// OneIsHigher gives the decode polarity (state 1 raises the Rx ULI in
 	// both Ragnar channels: MR switching and unaligned offsets are slower).
 	OneIsHigher bool
+	// Trace, when set, records sender symbol switches and receiver ULI
+	// samples. Recording is passive: a traced run is byte-identical to an
+	// untraced one.
+	Trace *trace.Recorder
 }
 
 // ULIRun is the outcome of one transmission.
@@ -71,7 +76,9 @@ func (ch *ULIChannel) Transmit(bits bitstream.Bits) (*ULIRun, error) {
 	sampler := &uli.Sampler{
 		QP: ch.RxConn.QP, CQ: ch.RxConn.CQ,
 		Remote: ch.RxRemote, MsgSize: ch.RxSize, Depth: ch.RxDepth,
+		Rec: ch.Trace,
 	}
+	txActor := ch.Trace.RegisterActor("covert/tx")
 
 	// The sender's state variable; switch events are scheduled with jitter.
 	state := bits[0]
@@ -87,6 +94,8 @@ func (ch *ULIChannel) Transmit(bits bitstream.Bits) (*ULIRun, error) {
 	}
 
 	start := eng.Now()
+	ch.Trace.Emit(trace.Event{At: int64(start), Kind: trace.KindSymbol,
+		Actor: txActor, Val: uint64(bits[0]), TC: -1})
 	for k := 1; k < len(bits); k++ {
 		b := bits[k]
 		boundary := start.Add(sim.Duration(k) * ch.SymbolTime)
@@ -96,7 +105,11 @@ func (ch *ULIChannel) Transmit(bits bitstream.Bits) (*ULIRun, error) {
 		if boundary < eng.Now() {
 			boundary = eng.Now()
 		}
-		eng.At(boundary, func() { state = b })
+		eng.At(boundary, func() {
+			state = b
+			ch.Trace.Emit(trace.Event{At: int64(eng.Now()), Kind: trace.KindSymbol,
+				Actor: txActor, Val: uint64(b), TC: -1})
+		})
 	}
 
 	if err := gen.Start(); err != nil {

@@ -103,9 +103,21 @@ type Harmonic struct {
 
 // TrainHarmonic fits the baseline from benign window deltas.
 func TrainHarmonic(benign []Snapshot) *Harmonic {
+	vecs := make([]map[string]float64, len(benign))
+	for i, d := range benign {
+		vecs[i] = features(d)
+	}
+	return TrainHarmonicVectors(vecs)
+}
+
+// TrainHarmonicVectors fits the baseline from pre-flattened feature vectors.
+// Counter snapshots flatten via features(); the flight recorder's metrics
+// registry contributes latency-distribution features through
+// MetricsFeatures — merge the maps per window to train on both.
+func TrainHarmonicVectors(benign []map[string]float64) *Harmonic {
 	acc := map[string][]float64{}
-	for _, d := range benign {
-		for k, v := range features(d) {
+	for _, vec := range benign {
+		for k, v := range vec {
 			acc[k] = append(acc[k], v)
 		}
 	}
@@ -132,9 +144,12 @@ func TrainHarmonic(benign []Snapshot) *Harmonic {
 // Score returns the maximum normalised deviation of a window from the
 // benign baseline. Metrics unseen in training score by absolute magnitude
 // (a brand-new MR or opcode appearing is itself suspicious).
-func (h *Harmonic) Score(d Snapshot) float64 {
+func (h *Harmonic) Score(d Snapshot) float64 { return h.ScoreVector(features(d)) }
+
+// ScoreVector scores a pre-flattened feature vector against the baseline.
+func (h *Harmonic) ScoreVector(f map[string]float64) float64 {
 	worst := 0.0
-	for k, v := range features(d) {
+	for k, v := range f {
 		m, ok := h.mean[k]
 		if !ok {
 			if v > 0 {

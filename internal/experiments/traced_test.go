@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/bitstream"
+	"github.com/thu-has/ragnar/internal/covert"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/trace"
+)
+
+// TestTraceFig9ChromeSchema is the CLI acceptance check: `ragnar trace fig9`
+// must emit JSON that chrome://tracing loads. The schema rules: a top-level
+// traceEvents array; every event has name, ph, pid, tid and a numeric ts;
+// complete events (X) carry dur; counter events (C) carry a numeric value
+// arg; instants (i) carry a scope.
+func TestTraceFig9ChromeSchema(t *testing.T) {
+	o, err := TraceFig9(nic.CX4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("fig9 trace has no events")
+	}
+	var counters, instants int
+	for i, ev := range file.TraceEvents {
+		for _, req := range []string{"name", "ph", "pid", "tid", "ts"} {
+			if _, ok := ev[req]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, req, ev)
+			}
+		}
+		var ph string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			t.Fatal(err)
+		}
+		switch ph {
+		case "C":
+			counters++
+			var args struct {
+				Value *float64 `json:"value"`
+			}
+			if err := json.Unmarshal(ev["args"], &args); err != nil || args.Value == nil {
+				t.Fatalf("counter event %d lacks numeric value: %s", i, ev["args"])
+			}
+		case "i":
+			instants++
+			if _, ok := ev["s"]; !ok {
+				t.Fatalf("instant event %d lacks scope", i)
+			}
+		}
+	}
+	if counters == 0 {
+		t.Fatal("fig9 trace should carry the monitor bandwidth counter track")
+	}
+	if instants == 0 {
+		t.Fatal("fig9 trace should carry sender symbol instants")
+	}
+}
+
+// TestTracedInterMRMatchesUntraced is the e2e regression for passivity:
+// attaching the flight recorder to the whole inter-MR rig must not move a
+// single simulated event — the decoded bitstream and every ULI sample stay
+// byte-identical to the untraced twin.
+func TestTracedInterMRMatchesUntraced(t *testing.T) {
+	const seed = 7
+	payload := bitstream.RandomBits(uint64(seed)|1, 24)
+
+	plain, err := covert.NewInterMRChannel(nic.CX4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenRun, err := plain.Transmit(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced, err := covert.NewInterMRChannel(nic.CX4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder("regression", trace.DefaultCapacity)
+	traced.Cluster.AttachRecorder(rec)
+	traced.Trace = rec
+	tracedRun, err := traced.Transmit(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if goldenRun.Decoded.String() != tracedRun.Decoded.String() {
+		t.Fatalf("tracing perturbed the decode:\n untraced %s\n traced   %s",
+			goldenRun.Decoded, tracedRun.Decoded)
+	}
+	if len(goldenRun.Samples) != len(tracedRun.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(goldenRun.Samples), len(tracedRun.Samples))
+	}
+	for i := range goldenRun.Samples {
+		if goldenRun.Samples[i] != tracedRun.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, goldenRun.Samples[i], tracedRun.Samples[i])
+		}
+	}
+	if rec.Total() == 0 {
+		t.Fatal("traced run recorded nothing")
+	}
+}
+
+// TestTracedFig9MatchesUntraced covers the fluid-model channel: the trace
+// hook must not consume the channel's RNG stream.
+func TestTracedFig9MatchesUntraced(t *testing.T) {
+	plain := covert.NewPriorityChannel(nic.CX5).Transmit(Fig9Bits, 3)
+	ch := covert.NewPriorityChannel(nic.CX5)
+	ch.Trace = trace.NewRecorder("fig9", trace.DefaultCapacity)
+	traced := ch.Transmit(Fig9Bits, 3)
+	if plain.Decoded.String() != traced.Decoded.String() {
+		t.Fatal("tracing perturbed the fig9 decode")
+	}
+	if len(plain.Trace) != len(traced.Trace) {
+		t.Fatal("tracing changed the bandwidth series length")
+	}
+	for i := range plain.Trace {
+		if plain.Trace[i] != traced.Trace[i] {
+			t.Fatalf("bandwidth sample %d differs", i)
+		}
+	}
+}
+
+// TestTraceLossRepShowsRecovery: the lossy trace contains the go-back-N
+// chains EXPERIMENTS.md teaches readers to find — NAKs, rewinds and
+// retransmit spans — and its Chrome export stays loadable.
+func TestTraceLossRepShowsRecovery(t *testing.T) {
+	o, err := TraceLossRep(nic.CX4, 0.5, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := o.Recorder.Metrics()
+	if m.Count(trace.KindNakSend) == 0 || m.Count(trace.KindRewind) == 0 ||
+		m.Count(trace.KindRetransmit) == 0 {
+		t.Fatalf("lossy trace missing recovery events: naks=%d rewinds=%d retx=%d",
+			m.Count(trace.KindNakSend), m.Count(trace.KindRewind), m.Count(trace.KindRetransmit))
+	}
+	var buf bytes.Buffer
+	if err := o.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("lossy trace export is not valid JSON")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/trace"
 )
 
 // NumTCs is the number of 802.1p traffic classes.
@@ -28,6 +29,11 @@ type Packet struct {
 	// (FaultPlan corruption). The receiving NIC must treat it like an ICRC
 	// failure: discard without interpreting the payload.
 	Corrupt bool
+
+	// enqueuedAt stamps when the packet joined its TC queue, feeding the
+	// flight recorder's per-TC queueing-delay histogram. Tracing-only: it
+	// never influences scheduling.
+	enqueuedAt sim.Time
 }
 
 // FaultPlan describes deterministic, seed-driven wire impairment applied to a
@@ -115,6 +121,9 @@ type Link struct {
 	burstLeft  [NumTCs]int
 	faultDrops [NumTCs]uint64
 	corrupts   [NumTCs]uint64
+
+	rec      *trace.Recorder
+	recActor uint16
 }
 
 // NewLink creates a link delivering packets to sink. maxQueue bounds each
@@ -147,6 +156,14 @@ func (l *Link) SetQoS(q QoSConfig) {
 // RateGbps returns the configured line rate.
 func (l *Link) RateGbps() float64 { return l.rateGbps }
 
+// SetRecorder attaches a flight recorder; the link registers itself as an
+// actor under its name and emits TC enqueue/dequeue, serialization, drop
+// and corruption events. Nil disables tracing.
+func (l *Link) SetRecorder(r *trace.Recorder) {
+	l.rec = r
+	l.recActor = r.RegisterActor(l.name)
+}
+
 // SerializationDelay returns the time to clock the given bytes onto the wire.
 func (l *Link) SerializationDelay(bytes int) sim.Duration {
 	// bits / (Gbps * 1e9) seconds = bits / rate ns = bits * 1000 / rate ps.
@@ -164,9 +181,14 @@ func (l *Link) Send(p Packet) error {
 	}
 	if l.maxQueue > 0 && len(l.queues[p.TC]) >= l.maxQueue {
 		l.qDrops[p.TC]++
+		l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindTailDrop,
+			Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
 		return fmt.Errorf("fabric %s: TC %d queue full", l.name, p.TC)
 	}
+	p.enqueuedAt = l.eng.Now()
 	l.queues[p.TC] = append(l.queues[p.TC], p)
+	l.rec.Emit(trace.Event{At: int64(p.enqueuedAt), Kind: trace.KindTCEnqueue,
+		Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes), Aux: uint64(len(l.queues[p.TC]))})
 	if !l.busy {
 		l.drain()
 	}
@@ -231,21 +253,30 @@ func (l *Link) drain() {
 	if len(l.queues[tc]) == 0 {
 		l.deficit[tc] = 0 // DRR: idle classes forfeit their deficit
 	}
+	l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindTCDequeue,
+		Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes),
+		Dur: int64(l.eng.Now().Sub(p.enqueuedAt))})
 	ser := l.SerializationDelay(p.Bytes)
 	l.eng.After(ser, func() {
 		l.txBytes[p.TC] += uint64(p.Bytes)
 		l.txPackets[p.TC]++
+		l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireTx,
+			Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes), Dur: int64(ser)})
 		// The fault decision sits after serialization: a dropped packet was
 		// clocked onto the wire (tx counters see it) but never arrives.
 		drop, corrupt := l.fault(p.TC)
 		if drop {
 			l.faultDrops[p.TC]++
+			l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireDrop,
+				Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
 			l.drain()
 			return
 		}
 		if corrupt {
 			l.corrupts[p.TC]++
 			p.Corrupt = true
+			l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireCorrupt,
+				Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
 		}
 		l.eng.After(l.propDelay, func() {
 			if l.sink != nil {

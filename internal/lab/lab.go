@@ -11,6 +11,7 @@ import (
 	"github.com/thu-has/ragnar/internal/host"
 	"github.com/thu-has/ragnar/internal/nic"
 	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/trace"
 	"github.com/thu-has/ragnar/internal/verbs"
 )
 
@@ -81,6 +82,22 @@ func New(cfg Config) *Cluster {
 		c.Clients = append(c.Clients, cl)
 	}
 	return c
+}
+
+// AttachRecorder wires one flight recorder through the whole rig: the
+// engine, every context (verbs layer + NIC datapath) and every fabric link
+// emit into it. Call it right after New, before any traffic, so actor
+// registration order — and therefore Chrome track order — is deterministic.
+// Recording is passive; traced runs stay byte-identical to untraced ones.
+func (c *Cluster) AttachRecorder(r *trace.Recorder) {
+	c.Eng.SetRecorder(r)
+	c.Server.SetRecorder(r)
+	for _, cl := range c.Clients {
+		cl.SetRecorder(r)
+	}
+	for _, l := range c.Links {
+		l.SetRecorder(r)
+	}
 }
 
 // InjectLoss installs a uniform random-drop FaultPlan on every link of the

@@ -7,6 +7,7 @@ import (
 	"github.com/thu-has/ragnar/internal/fabric"
 	"github.com/thu-has/ragnar/internal/host"
 	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/trace"
 	"github.com/thu-has/ragnar/internal/wire"
 )
 
@@ -271,6 +272,13 @@ type NIC struct {
 	// the hook the pcap exporter uses.
 	Tap func(at sim.Time, frame []byte)
 	ip  [4]byte
+
+	// Flight recorder (nil = tracing off; every emit site is a nil check).
+	rec      *trace.Recorder
+	arbActor uint16 // egress arbiter lane
+	rxActor  uint16 // ingress pipeline lane
+	psnActor uint16 // go-back-N transport lane
+	cqeActor uint16 // completion lane
 }
 
 // New creates a NIC on a host. Call AddPeerLink before any traffic flows.
@@ -308,6 +316,21 @@ func New(eng *sim.Engine, name string, p Profile, h *host.Host, numa int) *NIC {
 
 // Profile returns the adapter profile.
 func (n *NIC) Profile() Profile { return n.prof }
+
+// SetRecorder attaches a flight recorder. The NIC registers one actor lane
+// per pipeline stage (arbiter, ingress, transport, completion) so the trace
+// viewer shows them as separate threads. Nil disables tracing; the disabled
+// hot path is a nil check with zero allocations (benchmark-guarded).
+func (n *NIC) SetRecorder(r *trace.Recorder) {
+	n.rec = r
+	n.arbActor = r.RegisterActor(n.Name + "/arb")
+	n.rxActor = r.RegisterActor(n.Name + "/rx")
+	n.psnActor = r.RegisterActor(n.Name + "/psn")
+	n.cqeActor = r.RegisterActor(n.Name + "/cqe")
+}
+
+// Recorder returns the attached flight recorder (nil when tracing is off).
+func (n *NIC) Recorder() *trace.Recorder { return n.rec }
 
 // TPU exposes the translation unit (reverse-engineering benchmarks inspect
 // its counters; Pythia needs its MTT).
@@ -481,6 +504,8 @@ func (n *NIC) launch(qp *qpState, wqe *WQE, post sim.Time) {
 	}
 	p := &pending{wqe: wqe, qpn: qp.qpn, postTime: post, seq: seq, psn: psn, msg: m,
 		lastSent: n.eng.Now()}
+	n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindPSNSend,
+		Actor: n.psnActor, QPN: qp.qpn, PSN: psn, Val: seq, TC: int8(wqe.TC)})
 	n.pend[seq] = p
 	qp.outstanding = append(qp.outstanding, p)
 	if qp.rtxTimer == nil {
@@ -511,6 +536,9 @@ func (n *NIC) transmit(dst *NIC, m *Message, ring int) {
 	n.egress.Submit(service, ring, func() {
 		n.counters.TxBytes += uint64(bytes)
 		n.counters.TxBytesTC[m.TC&7] += uint64(bytes)
+		n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindArbGrant,
+			Actor: n.arbActor, QPN: m.SrcQPN, PSN: m.PSN, TC: int8(m.TC & 7),
+			Val: uint64(bytes), Aux: uint64(ring)})
 		if link == nil {
 			// Loopback fallback for single-NIC tests.
 			n.eng.After(sim.Nanosecond, func() { dst.HandleIngress(m) })
@@ -560,6 +588,8 @@ func Deliver(p fabric.Packet) {
 		// dropped before any parsing — the transport recovers it exactly
 		// like an in-flight loss.
 		env.dst.counters.RxCorrupt++
+		env.dst.rec.Emit(trace.Event{At: int64(env.dst.eng.Now()), Kind: trace.KindRxCorrupt,
+			Actor: env.dst.rxActor, TC: int8(p.TC & 7), Val: uint64(p.Bytes)})
 		return
 	}
 	if env.frames != nil {
@@ -576,6 +606,9 @@ func Deliver(p fabric.Packet) {
 func (n *NIC) HandleIngress(m *Message) {
 	n.counters.RxBytes += uint64(n.wireBytes(m))
 	n.counters.RxBytesTC[m.TC&7] += uint64(n.wireBytes(m))
+	n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindRxPkt,
+		Actor: n.rxActor, QPN: m.DstQPN, PSN: m.PSN, TC: int8(m.TC & 7),
+		Val: uint64(n.wireBytes(m))})
 	if m.IsResp {
 		n.handleResponse(m)
 		return
@@ -589,6 +622,8 @@ func (n *NIC) handleRequest(m *Message) {
 		// Receive backlog beyond the XOFF threshold: a lossless fabric
 		// would pause this priority now. Grain-I defenses key off this.
 		n.counters.PFCPauses[m.TC&7]++
+		n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindPFCPause,
+			Actor: n.rxActor, TC: int8(m.TC & 7)})
 	}
 	// PSN sequencing (go-back-N responder). Requests on a connected QP must
 	// arrive in PSN order: an in-order request advances the expected PSN, a
@@ -790,6 +825,8 @@ func (n *NIC) handleResponse(m *Message) {
 		// retransmission both drew an ACK. Coalesce — count it, deliver no
 		// second CQE.
 		n.counters.DupAcks++
+		n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindDupAck,
+			Actor: n.psnActor, QPN: m.DstQPN, PSN: m.PSN, TC: int8(m.TC & 7)})
 		return
 	}
 	qp := n.qps[p.qpn]
@@ -813,6 +850,9 @@ func (n *NIC) handleResponse(m *Message) {
 			n.hostDMA.Submit(n.dmaTransferTime(32)+n.prof.CQEWriteTime, 0, func() {
 				if qp != nil {
 					qp.completed++
+					n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindCQE,
+						Actor: n.cqeActor, QPN: p.qpn, TC: int8(p.wqe.TC),
+						Dur: int64(n.eng.Now().Sub(p.postTime)), Aux: uint64(m.Status)})
 					if qp.onComplete != nil {
 						qp.onComplete(Completion{
 							QPN: p.qpn, WRID: p.wqe.WRID, Op: p.wqe.Op,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/trace"
 )
 
 // RC go-back-N reliability: PSN tracking per QP, NAK-sequence-error
@@ -115,8 +116,13 @@ func (n *NIC) onRetryTimeout(qp *qpState) {
 	}
 	qp.retries++
 	n.counters.Timeouts++
+	n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindRtxTimeout,
+		Actor: n.psnActor, QPN: qp.qpn, Val: uint64(qp.retries), TC: -1})
 	for _, p := range qp.outstanding {
 		p.retransmits++
+		n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindRetransmit,
+			Actor: n.psnActor, QPN: qp.qpn, PSN: p.psn, TC: int8(p.wqe.TC),
+			Dur: int64(n.eng.Now().Sub(p.lastSent))})
 		p.lastSent = n.eng.Now()
 		n.counters.Retransmits++
 		n.transmit(qp.peer, p.msg, 0)
@@ -139,9 +145,22 @@ func (n *NIC) handleSeqNak(qp *qpState, m *Message) {
 	}
 	qp.rewindEpoch = qp.progressEpoch
 	qp.retries = 0 // the responder is alive: restart the backoff schedule
+	if n.rec.Enabled() {
+		resend := uint64(0)
+		for _, p := range qp.outstanding {
+			if psnAfter(p.psn, m.AckPSN) {
+				resend++
+			}
+		}
+		n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindRewind,
+			Actor: n.psnActor, QPN: qp.qpn, Aux: uint64(m.AckPSN), Val: resend, TC: -1})
+	}
 	for _, p := range qp.outstanding {
 		if psnAfter(p.psn, m.AckPSN) {
 			p.retransmits++
+			n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindRetransmit,
+				Actor: n.psnActor, QPN: qp.qpn, PSN: p.psn, TC: int8(p.wqe.TC),
+				Dur: int64(n.eng.Now().Sub(p.lastSent))})
 			p.lastSent = n.eng.Now()
 			n.counters.Retransmits++
 			n.transmit(qp.peer, p.msg, 0)
@@ -158,11 +177,16 @@ func (n *NIC) failQP(qp *qpState) {
 	n.counters.RetryExc++
 	flush := qp.outstanding
 	qp.outstanding = nil
+	n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindRetryExc,
+		Actor: n.psnActor, QPN: qp.qpn, Val: uint64(len(flush)), TC: -1})
 	for _, p := range flush {
 		delete(n.pend, p.seq)
 		p := p
 		n.hostDMA.Submit(n.dmaTransferTime(32)+n.prof.CQEWriteTime, 0, func() {
 			qp.completed++
+			n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindCQE,
+				Actor: n.cqeActor, QPN: qp.qpn, TC: int8(p.wqe.TC),
+				Dur: int64(n.eng.Now().Sub(p.postTime)), Aux: uint64(StatusRetryExcErr)})
 			if qp.onComplete != nil {
 				qp.onComplete(Completion{
 					QPN: qp.qpn, WRID: p.wqe.WRID, Op: p.wqe.Op,
@@ -179,6 +203,9 @@ func (n *NIC) failQP(qp *qpState) {
 func (n *NIC) respondNak(req *Message, ackPSN uint32) {
 	n.counters.Responses++
 	n.counters.NAKs++
+	n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindNakSend,
+		Actor: n.psnActor, QPN: req.DstQPN, PSN: req.PSN, Aux: uint64(ackPSN),
+		TC: int8(req.TC & 7)})
 	resp := &Message{
 		Op: req.Op, SrcQPN: req.DstQPN, DstQPN: req.SrcQPN,
 		Seq: req.Seq, IsResp: true, Status: StatusSeqNak, TC: req.TC,

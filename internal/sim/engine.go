@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"github.com/thu-has/ragnar/internal/trace"
 )
 
 // Event is a scheduled callback. The callback runs exactly once, at the
@@ -65,6 +67,9 @@ type Engine struct {
 	rng    *rand.Rand
 	fired  uint64
 	halted bool
+
+	rec      *trace.Recorder
+	recActor uint16
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -107,8 +112,24 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 	return e.At(e.now.Add(d), fn)
 }
 
+// SetRecorder attaches a flight recorder. The engine emits run/halt markers
+// into it; recording is passive and never alters scheduling, timing or the
+// RNG stream, so traced runs stay byte-identical to untraced ones. A nil
+// recorder disables tracing.
+func (e *Engine) SetRecorder(r *trace.Recorder) {
+	e.rec = r
+	e.recActor = r.RegisterActor("engine")
+}
+
+// Recorder returns the attached flight recorder (nil when tracing is off).
+// Model components attached to the engine inherit it at wiring time.
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
+
 // Halt stops the run loop after the current event's callback returns.
-func (e *Engine) Halt() { e.halted = true }
+func (e *Engine) Halt() {
+	e.halted = true
+	e.rec.Emit(trace.Event{At: int64(e.now), Kind: trace.KindEngineHalt, Actor: e.recActor, TC: -1})
+}
 
 // step pops and fires the next event. It reports false when the queue is
 // empty.
@@ -128,6 +149,8 @@ func (e *Engine) step() bool {
 
 // Run executes events until the queue drains or Halt is called.
 func (e *Engine) Run() {
+	e.rec.Emit(trace.Event{At: int64(e.now), Kind: trace.KindEngineRun, Actor: e.recActor,
+		Val: uint64(len(e.queue)), TC: -1})
 	e.halted = false
 	for !e.halted && e.step() {
 	}
@@ -136,6 +159,8 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline. Events scheduled beyond the deadline stay queued.
 func (e *Engine) RunUntil(deadline Time) {
+	e.rec.Emit(trace.Event{At: int64(e.now), Kind: trace.KindEngineRun, Actor: e.recActor,
+		Val: uint64(len(e.queue)), Aux: uint64(deadline), TC: -1})
 	e.halted = false
 	for !e.halted {
 		if len(e.queue) == 0 {

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/trace"
+)
+
+// FromMetrics derives a counter snapshot from a flight recorder's unified
+// metrics registry — the same event stream that feeds the trace export, so
+// the two views can never disagree. The registry covers exactly the NICs and
+// links whose recorders were attached: attach to one context to get that
+// NIC's ethtool view, to a whole cluster to get the fabric-wide aggregate.
+//
+// The Grain-II/III maps (PerOpcode, PerQP, PerMR) stay empty: the registry
+// is fixed-size arrays so the emit path never allocates, and those grains
+// remain the NIC poll path's job (Snap). ConsistentWith checks the shared
+// fields.
+func FromMetrics(at sim.Time, m *trace.Metrics) Snapshot {
+	s := Snapshot{
+		At:        at,
+		PerOpcode: map[nic.Opcode]uint64{},
+		PerQP:     map[uint32]uint64{},
+		PerMR:     map[uint32]uint64{},
+	}
+	if m == nil {
+		return s
+	}
+	s.TxBytes = m.TxBytes
+	s.RxBytes = m.RxBytes
+	s.PerTC = m.RxBytesTC
+	s.PFCPauses = m.PFCPauses
+	s.WireDropsTC = m.WireDropsTC
+	s.Retransmits = m.Retransmits()
+	s.Timeouts = m.Timeouts()
+	s.SeqNaks = m.SeqNaks()
+	s.DupAcks = m.DupAcks()
+	s.RetryExc = m.RetryExc()
+	s.RxCorrupt = m.RxCorrupt()
+	return s
+}
+
+// ConsistentWith reports whether two snapshots agree on every field the
+// metrics registry derives (bytes, per-TC volume, PFC, loss and transport
+// observables). It is the single-source-of-truth check: a poll-path Snap and
+// an event-derived FromMetrics over the same NIC must satisfy it.
+func ConsistentWith(a, b Snapshot) bool {
+	if a.TxBytes != b.TxBytes || a.RxBytes != b.RxBytes {
+		return false
+	}
+	if a.PerTC != b.PerTC || a.PFCPauses != b.PFCPauses || a.WireDropsTC != b.WireDropsTC {
+		return false
+	}
+	return a.Retransmits == b.Retransmits && a.Timeouts == b.Timeouts &&
+		a.SeqNaks == b.SeqNaks && a.DupAcks == b.DupAcks &&
+		a.RetryExc == b.RetryExc && a.RxCorrupt == b.RxCorrupt
+}

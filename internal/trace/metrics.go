@@ -1,0 +1,214 @@
+package trace
+
+import "math/bits"
+
+// histBuckets is the number of power-of-two latency buckets: bucket i holds
+// durations d with bits.Len64(d) == i, i.e. [2^(i-1), 2^i) picoseconds.
+// 64 buckets cover the whole int64 range.
+const histBuckets = 65
+
+// Histogram is a fixed-footprint log2 latency histogram over picosecond
+// durations. Recording is array arithmetic only — no allocation — so the
+// metrics registry can run synchronously on the emit path.
+type Histogram struct {
+	counts [histBuckets]uint64
+	sum    int64
+	n      uint64
+	max    int64
+}
+
+// Record adds one duration (negative values clamp to zero).
+func (h *Histogram) Record(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bits.Len64(uint64(d))]++
+	h.sum += d
+	h.n++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports recorded observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum reports the total of all recorded durations, picoseconds.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max reports the largest recorded duration, picoseconds.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean reports the average recorded duration, picoseconds.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) at the
+// histogram's bucket resolution: the top edge of the bucket where the
+// cumulative count crosses q*n. Zero when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			edge := int64(1) << uint(i)
+			if edge > h.max || edge < 0 {
+				return h.max
+			}
+			return edge
+		}
+	}
+	return h.max
+}
+
+// Buckets exposes the raw bucket counts (index = bits.Len64 of the value).
+func (h *Histogram) Buckets() []uint64 { return h.counts[:] }
+
+// Metrics is the unified registry derived from the event stream: every
+// Recorder owns one and updates it on each Emit, so the flight-recorder
+// ring, the exported trace and these counters all describe the same single
+// source of truth. Unlike the ring, the registry never forgets — it keeps
+// aggregating after the ring wraps.
+type Metrics struct {
+	// Counts tallies every event kind (index = Kind).
+	Counts [NumKinds]uint64
+
+	// Byte counters mirroring the NIC's ethtool view, derived from
+	// ArbGrant (egress) and RxPkt (ingress) events.
+	TxBytes   uint64
+	RxBytes   uint64
+	TxBytesTC [8]uint64
+	RxBytesTC [8]uint64
+
+	// Loss observables, derived from fabric and NIC events.
+	WireDropsTC [8]uint64 // tail drops + in-flight fault drops, per TC
+	CorruptsTC  [8]uint64
+	PFCPauses   [8]uint64
+
+	// Latency histograms (the features HARMONIC-style counters miss).
+	QueueDelay [8]Histogram // per-TC fabric queueing delay (enqueue→dequeue)
+	RetxStall  Histogram    // retransmit stall: packet age when re-sent
+	ULIJitter  Histogram    // receiver inter-sample gap
+	WQELatency Histogram    // verbs post→completion latency
+
+	lastULI [256]int64 // per-actor last ULI sample time, for jitter
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// observe folds one event into the registry. Pure array updates — the emit
+// path stays allocation-free.
+func (m *Metrics) observe(ev Event) {
+	m.Counts[ev.Kind]++
+	tc := int(ev.TC) & 7
+	switch ev.Kind {
+	case KindArbGrant:
+		m.TxBytes += ev.Val
+		m.TxBytesTC[tc] += ev.Val
+	case KindRxPkt:
+		m.RxBytes += ev.Val
+		m.RxBytesTC[tc] += ev.Val
+	case KindPFCPause:
+		m.PFCPauses[tc]++
+	case KindWireDrop, KindTailDrop:
+		m.WireDropsTC[tc]++
+	case KindWireCorrupt:
+		m.CorruptsTC[tc]++
+	case KindTCDequeue:
+		m.QueueDelay[tc].Record(ev.Dur)
+	case KindRetransmit:
+		m.RetxStall.Record(ev.Dur)
+	case KindCQE:
+		m.WQELatency.Record(ev.Dur)
+	case KindULISample:
+		a := ev.Actor & 0xff
+		if last := m.lastULI[a]; last != 0 {
+			m.ULIJitter.Record(ev.At - last)
+		}
+		m.lastULI[a] = ev.At
+	}
+}
+
+// Count returns the tally for one kind.
+func (m *Metrics) Count(k Kind) uint64 {
+	if m == nil || int(k) >= NumKinds {
+		return 0
+	}
+	return m.Counts[k]
+}
+
+// Retransmits, Timeouts, SeqNaks, DupAcks, RetryExc and RxCorrupt mirror the
+// telemetry counter names for the transport observables.
+func (m *Metrics) Retransmits() uint64 { return m.Count(KindRetransmit) }
+
+// Timeouts reports retransmit-timer expiries.
+func (m *Metrics) Timeouts() uint64 { return m.Count(KindRtxTimeout) }
+
+// SeqNaks reports NAK-sequence-errors sent.
+func (m *Metrics) SeqNaks() uint64 { return m.Count(KindNakSend) }
+
+// DupAcks reports duplicate ACKs coalesced.
+func (m *Metrics) DupAcks() uint64 { return m.Count(KindDupAck) }
+
+// RetryExc reports QPs that exhausted their retry budget.
+func (m *Metrics) RetryExc() uint64 { return m.Count(KindRetryExc) }
+
+// RxCorrupt reports inbound packets discarded for corruption.
+func (m *Metrics) RxCorrupt() uint64 { return m.Count(KindRxCorrupt) }
+
+// Merge folds other into m (for aggregating per-shard registries after a
+// parallel sweep). Histograms merge bucket-wise; ULI jitter state does not
+// carry across shards, which is correct — shards are independent runs.
+func (m *Metrics) Merge(other *Metrics) {
+	if other == nil {
+		return
+	}
+	for i := range m.Counts {
+		m.Counts[i] += other.Counts[i]
+	}
+	m.TxBytes += other.TxBytes
+	m.RxBytes += other.RxBytes
+	for i := 0; i < 8; i++ {
+		m.TxBytesTC[i] += other.TxBytesTC[i]
+		m.RxBytesTC[i] += other.RxBytesTC[i]
+		m.WireDropsTC[i] += other.WireDropsTC[i]
+		m.CorruptsTC[i] += other.CorruptsTC[i]
+		m.PFCPauses[i] += other.PFCPauses[i]
+		m.QueueDelay[i].merge(&other.QueueDelay[i])
+	}
+	m.RetxStall.merge(&other.RetxStall)
+	m.ULIJitter.merge(&other.ULIJitter)
+	m.WQELatency.merge(&other.WQELatency)
+}
+
+func (h *Histogram) merge(o *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.sum += o.sum
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+// DefaultCapacity is the ring size used when NewRecorder is given a
+// non-positive capacity: large enough to hold every event of a typical
+// covert-channel transmission, small enough that a parallel sweep can give
+// each cell its own recorder without memory pressure.
+const DefaultCapacity = 1 << 16
+
+// Recorder is one shard's flight recorder: a fixed-capacity ring of events
+// plus the metrics registry derived from the same stream. It is the unit of
+// isolation for parallel sweeps — one recorder per cell, no sharing, no
+// locks. A nil *Recorder is the disabled state: every method is nil-safe
+// and Emit on nil is a single predictable branch.
+type Recorder struct {
+	name    string
+	buf     []Event
+	n       uint64 // total events emitted (ring head = n % cap)
+	actors  []string
+	metrics *Metrics
+}
+
+// NewRecorder creates a recorder named name holding up to capacity events
+// (older events are overwritten once the ring wraps; the metrics registry
+// keeps counting regardless). capacity <= 0 selects DefaultCapacity.
+func NewRecorder(name string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		name:    name,
+		buf:     make([]Event, 0, capacity),
+		actors:  []string{"?"},
+		metrics: NewMetrics(),
+	}
+}
+
+// Name returns the shard name given at construction.
+func (r *Recorder) Name() string {
+	if r == nil {
+		return ""
+	}
+	return r.name
+}
+
+// Enabled reports whether the recorder records (i.e. is non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// RegisterActor interns a component name (a NIC pipeline stage, a fabric
+// link, a verbs context) and returns its id for Event.Actor. Registration
+// happens at rig wiring time, never on the hot path. Duplicate names return
+// the existing id. On a nil recorder it returns 0.
+func (r *Recorder) RegisterActor(name string) uint16 {
+	if r == nil {
+		return 0
+	}
+	for i, a := range r.actors {
+		if a == name {
+			return uint16(i)
+		}
+	}
+	r.actors = append(r.actors, name)
+	return uint16(len(r.actors) - 1)
+}
+
+// Actors returns the interned actor table (index = Event.Actor).
+func (r *Recorder) Actors() []string {
+	if r == nil {
+		return nil
+	}
+	return r.actors
+}
+
+// Emit records one event. On a nil recorder this is the disabled fast path:
+// one branch, zero allocations (the Event argument lives on the caller's
+// stack). When enabled, the event lands in the ring and updates the metrics
+// registry; neither path allocates, so enabling tracing perturbs only host
+// wall-clock time, never simulated time.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.n%uint64(cap(r.buf))] = ev
+	}
+	r.n++
+	r.metrics.observe(ev)
+}
+
+// Len reports how many events are currently held in the ring.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Total reports how many events were emitted over the recorder's lifetime.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Dropped reports how many events the ring has overwritten.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.n - uint64(len(r.buf))
+}
+
+// Events returns the retained events in emission order (oldest first). The
+// slice is a copy; mutating it does not disturb the ring.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	head := int(r.n % uint64(cap(r.buf)))
+	out = append(out, r.buf[head:]...)
+	return append(out, r.buf[:head]...)
+}
+
+// Metrics returns the registry accumulated from every emitted event (ring
+// overwrites do not lose counts). Nil on a disabled recorder.
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return r.metrics
+}

@@ -2,9 +2,11 @@ package uli
 
 import (
 	"errors"
+	"math"
 
 	"github.com/thu-has/ragnar/internal/nic"
 	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/trace"
 	"github.com/thu-has/ragnar/internal/verbs"
 )
 
@@ -28,15 +30,19 @@ type Sampler struct {
 	Depth   int
 	// NextOffset optionally varies the probed offset.
 	NextOffset func(i int) uint64
+	// Rec, when set, receives one KindULISample event per recorded sample
+	// (the metrics registry derives sample jitter from the event stream).
+	Rec *trace.Recorder
 
 	Samples []TimedSample
 
-	running bool
-	posted  int
-	epoch   uint64
-	lenAt   map[uint64]int
-	offAt   map[uint64]uint64
-	err     error
+	running  bool
+	posted   int
+	epoch    uint64
+	lenAt    map[uint64]int
+	offAt    map[uint64]uint64
+	err      error
+	recActor uint16
 }
 
 // Start fills the queue and begins recording. The sampler owns the CQ's
@@ -52,6 +58,7 @@ func (s *Sampler) Start() error {
 	s.lenAt = make(map[uint64]int, s.Depth+1)
 	s.offAt = make(map[uint64]uint64, s.Depth+1)
 	s.running = true
+	s.recActor = s.Rec.RegisterActor("uli/sampler")
 	s.CQ.Notify = func(c nic.Completion) {
 		if !s.running || c.WRID&^uint64(0xffffffff) != s.epoch {
 			return
@@ -65,11 +72,15 @@ func (s *Sampler) Start() error {
 		delete(s.lenAt, c.WRID)
 		if lsq >= s.Depth-1 {
 			lat := c.DoneTime.Sub(c.PostTime)
+			uliNano := lat.Nanoseconds() / float64(lsq+1)
 			s.Samples = append(s.Samples, TimedSample{
 				At:      c.DoneTime,
-				ULINano: lat.Nanoseconds() / float64(lsq+1),
+				ULINano: uliNano,
 				Offset:  s.offAt[c.WRID],
 			})
+			s.Rec.Emit(trace.Event{At: int64(c.DoneTime), Kind: trace.KindULISample,
+				Actor: s.recActor, Val: math.Float64bits(uliNano),
+				Aux: s.offAt[c.WRID], TC: -1})
 		}
 		delete(s.offAt, c.WRID)
 		if err := s.post(); err != nil && err != verbs.ErrSQFull {

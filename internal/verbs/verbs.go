@@ -14,6 +14,7 @@ import (
 	"github.com/thu-has/ragnar/internal/host"
 	"github.com/thu-has/ragnar/internal/nic"
 	"github.com/thu-has/ragnar/internal/sim"
+	"github.com/thu-has/ragnar/internal/trace"
 )
 
 // Access flags for memory registration (subset of IBV_ACCESS_*).
@@ -37,6 +38,9 @@ type Context struct {
 	nextPD  uint32
 	nextKey uint32
 	nextQPN uint32
+
+	rec      *trace.Recorder
+	recActor uint16
 }
 
 // NewContext opens a device context on a fresh host with the given NIC
@@ -64,6 +68,15 @@ func (c *Context) Host() *host.Host { return c.hst }
 // NIC returns the underlying adapter model (reverse-engineering code
 // inspects its TPU and counters).
 func (c *Context) NIC() *nic.NIC { return c.dev }
+
+// SetRecorder attaches a flight recorder to the context and its NIC: the
+// verbs layer emits WQE post events and post→completion spans, the NIC its
+// datapath events. Nil disables tracing.
+func (c *Context) SetRecorder(r *trace.Recorder) {
+	c.rec = r
+	c.recActor = r.RegisterActor(c.Name + "/verbs")
+	c.dev.SetRecorder(r)
+}
 
 // PD is a protection domain.
 type PD struct {
@@ -171,6 +184,9 @@ func (c *Context) CreateCQ(capacity int) *CQ {
 }
 
 func (q *CQ) push(comp nic.Completion) {
+	q.ctx.rec.Emit(trace.Event{At: int64(comp.DoneTime), Kind: trace.KindWQESpan,
+		Actor: q.ctx.recActor, QPN: comp.QPN, Val: comp.WRID, Aux: uint64(comp.Status),
+		Dur: int64(comp.DoneTime.Sub(comp.PostTime)), TC: -1})
 	if len(q.entries) >= q.cap {
 		q.entries = q.entries[1:]
 	}
@@ -274,6 +290,8 @@ func (qp *QP) post(wqe *nic.WQE) error {
 	if err := qp.ctx.dev.PostSend(qp.qpn, wqe); err != nil {
 		return err
 	}
+	qp.ctx.rec.Emit(trace.Event{At: int64(qp.ctx.eng.Now()), Kind: trace.KindWQEPost,
+		Actor: qp.ctx.recActor, QPN: qp.qpn, Val: wqe.WRID, TC: int8(qp.tc)})
 	qp.inFlight++
 	return nil
 }
