@@ -4,12 +4,18 @@
 #                     the parallel-vs-sequential equivalence check
 #   make test       - plain test run (tier-1: go build ./... && go test ./...)
 #   make bench      - regenerate the paper artifacts via the benchmark harness
+#   make benchguard - allocation gate: scheduler + disabled-trace hot paths
+#                     must report 0 allocs/op (same gate CI runs)
+#   make perf       - refresh the machine-readable perf baseline
+#                     (BENCH_<date>.json, see EXPERIMENTS.md)
 #   make trace-demo - sample flight-recorder trace from the lossy covert rig
 #                     (load trace-demo.json in chrome://tracing or Perfetto)
 
 GO ?= go
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
 
-.PHONY: check vet build test race equivalence bench trace-demo
+.PHONY: check vet build test race equivalence bench benchguard perf trace-demo
 
 check: vet build race equivalence
 
@@ -33,6 +39,16 @@ equivalence:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# The hot paths the zero-alloc refactor bought must stay allocation-free:
+# run the guarded benchmarks with -benchmem and gate on allocs/op == 0.
+benchguard:
+	$(GO) test -run '^$$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled)' \
+		-benchtime 1000x -benchmem ./internal/sim ./internal/trace \
+		| $(GO) run ./scripts/benchguard.go
+
+perf:
+	./scripts/bench.sh
 
 # A lossy inter-MR run has the richest trace: go-back-N NAK/rewind/retransmit
 # chains, per-TC queueing spans and the receiver's ULI sample track.

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/thu-has/ragnar/internal/bitstream"
+	"github.com/thu-has/ragnar/internal/covert"
+	"github.com/thu-has/ragnar/internal/experiments"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+// The bench subcommand is the repo's machine-readable perf baseline: it runs
+// the hot-path benchmarks through testing.Benchmark and emits one JSON
+// document per run, designed to be checked in as BENCH_<date>.json (see
+// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Four probes:
+//
+//   - engine-schedule-fire: raw scheduler cost, one self-rescheduling event
+//     (the same steady-state pattern the bench-guard CI job gates at
+//     0 allocs/op);
+//   - channel-inter-mr / channel-intra-mr: full covert-channel transmits —
+//     NIC + fabric + transport — with simulated events/sec derived from the
+//     engine's fired-event counter;
+//   - lossgrid: the heaviest composite experiment (retransmission paths hot).
+
+// benchSchema names the JSON layout so future sessions can evolve it without
+// silently breaking comparisons.
+const benchSchema = "ragnar-bench/v1"
+
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// EventsPerSec is simulator events executed per wall-clock second
+	// (engine throughput for the scheduler probe, whole-stack event rate for
+	// the channel probes). Zero when the probe does not track events.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// SimEventsPerOp is the number of engine events one operation fires.
+	SimEventsPerOp uint64 `json:"sim_events_per_op,omitempty"`
+}
+
+type benchDoc struct {
+	Schema     string        `json:"schema"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	CPUs       int           `json:"cpus"`
+	NIC        string        `json:"nic"`
+	Seed       int64         `json:"seed"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+func benchCmd(prof nic.Profile, seed int64, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "write the JSON document to stdout instead of a table")
+	out := fs.String("out", "", "also write the JSON document to this file (table still goes to stdout)")
+	fs.Parse(args)
+
+	doc := benchDoc{
+		Schema:    benchSchema,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		NIC:       prof.Name,
+		Seed:      seed,
+	}
+
+	// Scheduler steady state: one event rescheduling itself b.N times, so
+	// every iteration is exactly one schedule+fire pair and ns/op is the
+	// per-event cost.
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine(seed)
+		n := 0
+		var fn func()
+		fn = func() {
+			n++
+			if n < b.N {
+				e.After(10*sim.Nanosecond, fn)
+			}
+		}
+		b.ResetTimer()
+		e.After(sim.Nanosecond, fn)
+		e.Run()
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("engine-schedule-fire", r, 1))
+
+	payload := bitstream.RandomBits(7, 64)
+	for _, ch := range []struct {
+		name string
+		mk   func(nic.Profile, int64) (*covert.ULIChannel, error)
+	}{
+		{"channel-inter-mr", covert.NewInterMRChannel},
+		{"channel-intra-mr", covert.NewIntraMRChannel},
+	} {
+		var fired uint64
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := ch.mk(prof, seed+int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Transmit(payload); err != nil {
+					b.Fatal(err)
+				}
+				fired = c.Cluster.Eng.Fired()
+			}
+		})
+		doc.Benchmarks = append(doc.Benchmarks, record(ch.name, r, fired))
+	}
+
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.LossGrid(prof, 96, 2, nil, seed+int64(i), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("lossgrid", r, 0))
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	fmt.Printf("%s %s/%s %s, %d CPU, seed %d\n", doc.GoVersion, doc.GOOS, doc.GOARCH, doc.NIC, doc.CPUs, doc.Seed)
+	fmt.Printf("%-22s %12s %14s %10s %12s %14s\n", "benchmark", "iters", "ns/op", "B/op", "allocs/op", "events/sec")
+	for _, rec := range doc.Benchmarks {
+		ev := "-"
+		if rec.EventsPerSec > 0 {
+			ev = fmt.Sprintf("%14.0f", rec.EventsPerSec)
+		}
+		fmt.Printf("%-22s %12d %14.1f %10d %12d %14s\n",
+			rec.Name, rec.Iterations, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp, ev)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+// record converts a testing.BenchmarkResult plus the per-op simulator event
+// count into the JSON row.
+func record(name string, r testing.BenchmarkResult, eventsPerOp uint64) benchRecord {
+	rec := benchRecord{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if eventsPerOp > 0 && rec.NsPerOp > 0 {
+		rec.SimEventsPerOp = eventsPerOp
+		rec.EventsPerSec = float64(eventsPerOp) * 1e9 / rec.NsPerOp
+	}
+	return rec
+}

@@ -31,7 +31,7 @@ func main() {
 		fatalf("unknown NIC %q", *nicName)
 	}
 	if flag.NArg() == 0 {
-		fatalf("usage: rebench [flags] <pair|offsets|reloffsets|intermr|linearity>")
+		fatalf("usage: rebench [flags] <pair|offsets|reloffsets|intermr|linearity|bench>")
 	}
 	cmd, rest := flag.Arg(0), flag.Args()[1:]
 	var err error
@@ -46,6 +46,8 @@ func main() {
 		err = interMR(prof, rest, *seed, *workers)
 	case "linearity":
 		err = linearity(prof)
+	case "bench":
+		err = benchCmd(prof, *seed, rest)
 	default:
 		err = fmt.Errorf("unknown subcommand %q", cmd)
 	}

@@ -62,11 +62,11 @@ type lossRep struct {
 }
 
 type lossRepOut struct {
-	bps      float64
-	errBits  int
-	bits     int
-	drops    uint64
-	retrans  uint64
+	bps     float64
+	errBits int
+	bits    int
+	drops   uint64
+	retrans uint64
 }
 
 func lossGridReps(channels []string, losses []float64, reps int) []lossRep {

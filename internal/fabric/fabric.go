@@ -103,11 +103,25 @@ type Link struct {
 	rateGbps  float64
 	propDelay sim.Duration
 	qos       QoSConfig
-	queues    [NumTCs][]Packet
-	deficit   [NumTCs]int
-	quantum   [NumTCs]int
-	busy      bool
-	sink      func(Packet)
+	// Per-TC FIFO as a reusable ring: qHead indexes the live front of the
+	// backing slice. Popping advances qHead instead of reslicing ([1:]
+	// permanently forfeits capacity, forcing an allocation per enqueue once
+	// the queue has churned); the slice rewinds when drained and compacts
+	// in place when mostly consumed, so steady traffic reuses one backing
+	// array per class.
+	queues  [NumTCs][]Packet
+	qHead   [NumTCs]int
+	deficit [NumTCs]int
+	quantum [NumTCs]int
+	busy    bool
+	sink    func(Packet)
+
+	// Single-slot serialization state: exactly one packet clocks onto the
+	// wire at a time (drain recurses only from txDone), so the completion
+	// closure is allocated once per link instead of once per packet.
+	inflight    Packet
+	inflightSer sim.Duration
+	txDone      func()
 
 	// Telemetry, per TC.
 	txBytes   [NumTCs]uint64
@@ -133,8 +147,44 @@ func NewLink(eng *sim.Engine, name string, rateGbps float64, prop sim.Duration, 
 		panic("fabric: line rate must be positive")
 	}
 	l := &Link{eng: eng, name: name, rateGbps: rateGbps, propDelay: prop, maxQueue: maxQueue, sink: sink}
+	l.txDone = l.finishTx
 	l.SetQoS(DefaultQoS())
 	return l
+}
+
+// qLen reports the live backlog of one TC ring.
+func (l *Link) qLen(tc int) int { return len(l.queues[tc]) - l.qHead[tc] }
+
+// qPush appends to a TC ring, rewinding or compacting the backing slice
+// first when the consumed prefix dominates it.
+func (l *Link) qPush(tc int, p Packet) {
+	q := l.queues[tc]
+	if h := l.qHead[tc]; h > 0 {
+		if h == len(q) {
+			q = q[:0]
+			l.qHead[tc] = 0
+		} else if h >= 64 && h*2 >= len(q) {
+			n := copy(q, q[h:])
+			q = q[:n]
+			l.qHead[tc] = 0
+		}
+	}
+	l.queues[tc] = append(q, p)
+}
+
+// qPop removes and returns the head of a TC ring. The vacated entry is
+// zeroed so the backing array does not pin delivered payloads.
+func (l *Link) qPop(tc int) Packet {
+	h := l.qHead[tc]
+	p := l.queues[tc][h]
+	l.queues[tc][h] = Packet{}
+	h++
+	if h == len(l.queues[tc]) {
+		l.queues[tc] = l.queues[tc][:0]
+		h = 0
+	}
+	l.qHead[tc] = h
+	return p
 }
 
 // SetQoS applies an mlnx_qos-style configuration. The DWRR quantum for an
@@ -179,16 +229,16 @@ func (l *Link) Send(p Packet) error {
 	if p.Bytes <= 0 {
 		return fmt.Errorf("fabric %s: non-positive packet size %d", l.name, p.Bytes)
 	}
-	if l.maxQueue > 0 && len(l.queues[p.TC]) >= l.maxQueue {
+	if l.maxQueue > 0 && l.qLen(p.TC) >= l.maxQueue {
 		l.qDrops[p.TC]++
 		l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindTailDrop,
 			Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
 		return fmt.Errorf("fabric %s: TC %d queue full", l.name, p.TC)
 	}
 	p.enqueuedAt = l.eng.Now()
-	l.queues[p.TC] = append(l.queues[p.TC], p)
+	l.qPush(p.TC, p)
 	l.rec.Emit(trace.Event{At: int64(p.enqueuedAt), Kind: trace.KindTCEnqueue,
-		Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes), Aux: uint64(len(l.queues[p.TC]))})
+		Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes), Aux: uint64(l.qLen(p.TC))})
 	if !l.busy {
 		l.drain()
 	}
@@ -199,24 +249,24 @@ func (l *Link) Send(p Packet) error {
 // wins), then DWRR among ETS classes.
 func (l *Link) pick() int {
 	for tc := 0; tc < NumTCs; tc++ {
-		if l.qos.Mode[tc] == Strict && len(l.queues[tc]) > 0 {
+		if l.qos.Mode[tc] == Strict && l.qLen(tc) > 0 {
 			return tc
 		}
 	}
 	// DWRR: loop until some class has enough deficit for its head packet.
 	for round := 0; round < 2*NumTCs+1; round++ {
 		for tc := 0; tc < NumTCs; tc++ {
-			if l.qos.Mode[tc] != ETS || len(l.queues[tc]) == 0 {
+			if l.qos.Mode[tc] != ETS || l.qLen(tc) == 0 {
 				continue
 			}
-			if l.deficit[tc] >= l.queues[tc][0].Bytes {
+			if l.deficit[tc] >= l.queues[tc][l.qHead[tc]].Bytes {
 				return tc
 			}
 		}
 		// No class ready: replenish all backlogged ETS classes.
 		replenished := false
 		for tc := 0; tc < NumTCs; tc++ {
-			if l.qos.Mode[tc] == ETS && len(l.queues[tc]) > 0 {
+			if l.qos.Mode[tc] == ETS && l.qLen(tc) > 0 {
 				l.deficit[tc] += l.quantum[tc]
 				replenished = true
 			}
@@ -228,7 +278,7 @@ func (l *Link) pick() int {
 	// Pathological packet larger than any quantum accumulation window:
 	// serve the first backlogged class to guarantee progress.
 	for tc := 0; tc < NumTCs; tc++ {
-		if len(l.queues[tc]) > 0 {
+		if l.qLen(tc) > 0 {
 			return tc
 		}
 	}
@@ -242,49 +292,60 @@ func (l *Link) drain() {
 		return
 	}
 	l.busy = true
-	p := l.queues[tc][0]
-	l.queues[tc] = l.queues[tc][1:]
+	p := l.qPop(tc)
 	if l.qos.Mode[tc] == ETS {
 		l.deficit[tc] -= p.Bytes
 		if l.deficit[tc] < 0 {
 			l.deficit[tc] = 0
 		}
 	}
-	if len(l.queues[tc]) == 0 {
+	if l.qLen(tc) == 0 {
 		l.deficit[tc] = 0 // DRR: idle classes forfeit their deficit
 	}
 	l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindTCDequeue,
 		Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes),
 		Dur: int64(l.eng.Now().Sub(p.enqueuedAt))})
 	ser := l.SerializationDelay(p.Bytes)
-	l.eng.After(ser, func() {
-		l.txBytes[p.TC] += uint64(p.Bytes)
-		l.txPackets[p.TC]++
-		l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireTx,
-			Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes), Dur: int64(ser)})
-		// The fault decision sits after serialization: a dropped packet was
-		// clocked onto the wire (tx counters see it) but never arrives.
-		drop, corrupt := l.fault(p.TC)
-		if drop {
-			l.faultDrops[p.TC]++
-			l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireDrop,
-				Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
-			l.drain()
-			return
-		}
-		if corrupt {
-			l.corrupts[p.TC]++
-			p.Corrupt = true
-			l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireCorrupt,
-				Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
-		}
-		l.eng.After(l.propDelay, func() {
-			if l.sink != nil {
-				l.sink(p)
-			}
-		})
+	l.inflight = p
+	l.inflightSer = ser
+	l.eng.After(ser, l.txDone)
+}
+
+// finishTx completes the serialization of l.inflight: charge the tx
+// counters, decide the packet's in-flight fate, launch the propagation leg
+// and serve the next packet. It is the single pre-bound serialization
+// callback — only the propagation leg (which overlaps across packets) still
+// closes over its packet.
+func (l *Link) finishTx() {
+	p := l.inflight
+	ser := l.inflightSer
+	l.inflight = Packet{}
+	l.txBytes[p.TC] += uint64(p.Bytes)
+	l.txPackets[p.TC]++
+	l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireTx,
+		Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes), Dur: int64(ser)})
+	// The fault decision sits after serialization: a dropped packet was
+	// clocked onto the wire (tx counters see it) but never arrives.
+	drop, corrupt := l.fault(p.TC)
+	if drop {
+		l.faultDrops[p.TC]++
+		l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireDrop,
+			Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
 		l.drain()
+		return
+	}
+	if corrupt {
+		l.corrupts[p.TC]++
+		p.Corrupt = true
+		l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireCorrupt,
+			Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
+	}
+	l.eng.After(l.propDelay, func() {
+		if l.sink != nil {
+			l.sink(p)
+		}
 	})
+	l.drain()
 }
 
 // SetFaultPlan installs (or, with nil, clears) a fault-injection plan. The
@@ -323,7 +384,7 @@ func (l *Link) fault(tc int) (drop, corrupt bool) {
 }
 
 // QueueLen reports the backlog of one TC.
-func (l *Link) QueueLen(tc int) int { return len(l.queues[tc]) }
+func (l *Link) QueueLen(tc int) int { return l.qLen(tc) }
 
 // TxBytes reports bytes clocked out for one TC (an ethtool-style counter).
 func (l *Link) TxBytes(tc int) uint64 { return l.txBytes[tc] }

@@ -407,3 +407,60 @@ func TestFaultPlanClear(t *testing.T) {
 		t.Fatalf("pristine wire delivered %d/10", delivered)
 	}
 }
+
+// TestRingQueueFIFOAcrossCompaction exercises the per-TC ring queues through
+// enough push/pop cycles to hit both the rewind (drained) and compaction
+// (consumed prefix dominates) paths, checking FIFO order end to end and that
+// the backing array stops growing once steady state is reached.
+func TestRingQueueFIFOAcrossCompaction(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, "l", 100, 0, 0, nil)
+	next := 0 // next value to push
+	want := 0 // next value expected from pop
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			l.qPush(2, Packet{TC: 2, Bytes: 64, Payload: next})
+			next++
+		}
+	}
+	pop := func(n int) {
+		for i := 0; i < n; i++ {
+			p := l.qPop(2)
+			if p.Payload.(int) != want {
+				t.Fatalf("popped %v, want %d", p.Payload, want)
+			}
+			want++
+		}
+	}
+	// Steady producer/consumer imbalance: head index keeps climbing, forcing
+	// periodic compaction; occasional full drains force the rewind path.
+	for round := 0; round < 50; round++ {
+		push(100)
+		pop(70)
+	}
+	pop(next - want) // drain: rewind path
+	if l.qLen(2) != 0 {
+		t.Fatalf("qLen = %d after drain", l.qLen(2))
+	}
+	push(3)
+	pop(3)
+	if got := cap(l.queues[2]); got > 4096 {
+		t.Fatalf("ring backing array grew unboundedly: cap %d", got)
+	}
+}
+
+// TestRingQueuePopReleasesPayload checks that qPop zeroes the vacated slot so
+// the ring's backing array does not pin delivered payloads for GC.
+func TestRingQueuePopReleasesPayload(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, "l", 100, 0, 0, nil)
+	l.qPush(0, Packet{TC: 0, Bytes: 64, Payload: "held"})
+	l.qPush(0, Packet{TC: 0, Bytes: 64, Payload: "next"})
+	l.qPop(0)
+	if l.queues[0][0].Payload != nil {
+		t.Fatal("vacated ring slot still references the delivered payload")
+	}
+	if p := l.qPop(0); p.Payload != "next" {
+		t.Fatalf("second pop = %v", p.Payload)
+	}
+}

@@ -159,7 +159,7 @@ type qpState struct {
 	nextPSN       uint32     // next PSN to assign (24-bit)
 	outstanding   []*pending // in PSN order; retransmit set on timeout/NAK
 	retries       int        // consecutive timeouts without progress
-	rtxTimer      *sim.Event // pending retransmit timeout (nil when idle)
+	rtxTimer      sim.Event  // pending retransmit timeout (zero/stale when idle)
 	retryTimeout  sim.Duration
 	retryLimit    int
 	progressEpoch uint64 // bumped on every completion
@@ -279,6 +279,65 @@ type NIC struct {
 	rxActor  uint16 // ingress pipeline lane
 	psnActor uint16 // go-back-N transport lane
 	cqeActor uint16 // completion lane
+
+	// Free lists for the per-packet datapath structs. The engine is
+	// single-threaded, so these are plain slices (no sync.Pool — its
+	// GC-coupled reuse would be nondeterministic across runs; an explicit
+	// free list recycles at fixed points in the event order, keeping runs
+	// byte-identical). Entries migrate between the two NICs of a rig:
+	// responses are allocated by the responder and recycled by the
+	// requester — same engine, so never a race.
+	msgFree  []*Message
+	pendFree []*pending
+	envFree  []*envelope
+}
+
+// getMsg takes a Message from the free list (or allocates one). The caller
+// must fully assign it; recycled messages are zeroed on release.
+func (n *NIC) getMsg() *Message {
+	if k := len(n.msgFree) - 1; k >= 0 {
+		m := n.msgFree[k]
+		n.msgFree = n.msgFree[:k]
+		return m
+	}
+	return new(Message)
+}
+
+// putMsg releases a Message that provably has no remaining references: a
+// response after its terminal handler, or a request that was sent exactly
+// once (never retransmitted) after its completion arrived. Zeroing drops the
+// Data reference so recycled messages never pin payload buffers.
+func (n *NIC) putMsg(m *Message) {
+	*m = Message{}
+	n.msgFree = append(n.msgFree, m)
+}
+
+func (n *NIC) getPending() *pending {
+	if k := len(n.pendFree) - 1; k >= 0 {
+		p := n.pendFree[k]
+		n.pendFree = n.pendFree[:k]
+		return p
+	}
+	return new(pending)
+}
+
+func (n *NIC) putPending(p *pending) {
+	*p = pending{}
+	n.pendFree = append(n.pendFree, p)
+}
+
+func (n *NIC) getEnv() *envelope {
+	if k := len(n.envFree) - 1; k >= 0 {
+		env := n.envFree[k]
+		n.envFree = n.envFree[:k]
+		return env
+	}
+	return new(envelope)
+}
+
+func (n *NIC) putEnv(env *envelope) {
+	*env = envelope{}
+	n.envFree = append(n.envFree, env)
 }
 
 // New creates a NIC on a host. Call AddPeerLink before any traffic flows.
@@ -361,8 +420,10 @@ func (n *NIC) CreateQP(qpn uint32, onComplete func(Completion), onRecv func(Recv
 		return fmt.Errorf("nic %s: QP %d already exists", n.Name, qpn)
 	}
 	// rewindEpoch starts off any valid progressEpoch so the first NAK of a
-	// connection's lifetime always triggers a rewind.
-	n.qps[qpn] = &qpState{qpn: qpn, onComplete: onComplete, onRecv: onRecv, rewindEpoch: ^uint64(0)}
+	// connection's lifetime always triggers a rewind. The go-back-N window
+	// is preallocated so steady-state posting never grows it.
+	n.qps[qpn] = &qpState{qpn: qpn, onComplete: onComplete, onRecv: onRecv,
+		rewindEpoch: ^uint64(0), outstanding: make([]*pending, 0, 64)}
 	return nil
 }
 
@@ -494,7 +555,8 @@ func (n *NIC) launch(qp *qpState, wqe *WQE, post sim.Time) {
 	n.nextSeq++
 	psn := qp.nextPSN
 	qp.nextPSN = (qp.nextPSN + 1) & psnMask
-	m := &Message{
+	m := n.getMsg()
+	*m = Message{
 		Op: wqe.Op, SrcQPN: qp.qpn, DstQPN: qp.peerQPN,
 		RKey: wqe.RemoteKey, RemoteAddr: wqe.RemoteAddr, Length: wqe.Length,
 		Seq: seq, PSN: psn, TC: wqe.TC, CompareAdd: wqe.CompareAdd, Swap: wqe.Swap,
@@ -502,13 +564,14 @@ func (n *NIC) launch(qp *qpState, wqe *WQE, post sim.Time) {
 	if wqe.Op == OpWrite || wqe.Op == OpSend {
 		m.Data = wqe.LocalData
 	}
-	p := &pending{wqe: wqe, qpn: qp.qpn, postTime: post, seq: seq, psn: psn, msg: m,
+	p := n.getPending()
+	*p = pending{wqe: wqe, qpn: qp.qpn, postTime: post, seq: seq, psn: psn, msg: m,
 		lastSent: n.eng.Now()}
 	n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindPSNSend,
 		Actor: n.psnActor, QPN: qp.qpn, PSN: psn, Val: seq, TC: int8(wqe.TC)})
 	n.pend[seq] = p
 	qp.outstanding = append(qp.outstanding, p)
-	if qp.rtxTimer == nil {
+	if !qp.rtxTimer.Pending() {
 		n.armRetransmit(qp)
 	}
 	n.transmit(qp.peer, m, 0)
@@ -556,12 +619,15 @@ func (n *NIC) transmit(dst *NIC, m *Message, ring int) {
 				}
 			}
 		}
-		if err := link.Send(fabric.Packet{TC: m.TC, Bytes: bytes, Payload: envelope{dst: dst, msg: m, frames: frames}}); err != nil {
+		env := n.getEnv()
+		env.dst, env.msg, env.frames = dst, m, frames
+		if err := link.Send(fabric.Packet{TC: m.TC, Bytes: bytes, Payload: env}); err != nil {
 			// Tail drop at the egress queue: the packet never reaches the
 			// wire. The RC transport recovers it — a lost request draws a
 			// NAK-seq or a retransmit timeout, a lost response a duplicate
 			// request — and the link's per-TC drop counter (surfaced through
 			// Counters().WireDropsTC) records the loss for Grain-I monitors.
+			n.putEnv(env)
 			return
 		}
 	})
@@ -577,29 +643,33 @@ type envelope struct {
 }
 
 // Deliver is installed as the fabric sink: it dispatches an arriving packet
-// to its destination NIC's ingress pipeline.
+// to its destination NIC's ingress pipeline. The envelope is recycled here
+// (the message outlives it); envelopes lost in flight with their packet are
+// simply collected by the GC.
 func Deliver(p fabric.Packet) {
-	env, ok := p.Payload.(envelope)
+	env, ok := p.Payload.(*envelope)
 	if !ok {
 		panic("nic: foreign payload on fabric")
 	}
+	dst, m, frames := env.dst, env.msg, env.frames
+	dst.putEnv(env)
 	if p.Corrupt {
 		// ICRC failure: the payload cannot be trusted, so the packet is
 		// dropped before any parsing — the transport recovers it exactly
 		// like an in-flight loss.
-		env.dst.counters.RxCorrupt++
-		env.dst.rec.Emit(trace.Event{At: int64(env.dst.eng.Now()), Kind: trace.KindRxCorrupt,
-			Actor: env.dst.rxActor, TC: int8(p.TC & 7), Val: uint64(p.Bytes)})
+		dst.counters.RxCorrupt++
+		dst.rec.Emit(trace.Event{At: int64(dst.eng.Now()), Kind: trace.KindRxCorrupt,
+			Actor: dst.rxActor, TC: int8(p.TC & 7), Val: uint64(p.Bytes)})
 		return
 	}
-	if env.frames != nil {
+	if frames != nil {
 		// Wire fidelity: the frames must decode back to exactly the message
 		// being delivered.
-		if err := verifySegments(env.frames, env.msg); err != nil {
+		if err := verifySegments(frames, m); err != nil {
 			panic("nic: wire/simulation divergence: " + err.Error())
 		}
 	}
-	env.dst.HandleIngress(env.msg)
+	dst.HandleIngress(m)
 }
 
 // HandleIngress processes one arriving message (request or response).
@@ -798,7 +868,8 @@ func (n *NIC) respond(req *Message, st Status, data []byte, atomicOrig uint64) {
 	if st != StatusOK {
 		n.counters.NAKs++
 	}
-	resp := &Message{
+	resp := n.getMsg()
+	*resp = Message{
 		Op: req.Op, SrcQPN: req.DstQPN, DstQPN: req.SrcQPN,
 		Seq: req.Seq, IsResp: true, Status: st, TC: req.TC,
 		PSN: req.PSN, AckPSN: req.PSN,
@@ -817,7 +888,10 @@ func (n *NIC) respond(req *Message, st Status, data []byte, atomicOrig uint64) {
 	n.transmit(qp.peer, resp, 1)
 }
 
-// handleResponse finishes the pending WQE on the requester.
+// handleResponse finishes the pending WQE on the requester. Responses are
+// free-list-managed: every return path below recycles m after its last use
+// (the completion closures capture the copied status/result/data, never the
+// Message itself).
 func (n *NIC) handleResponse(m *Message) {
 	p := n.pend[m.Seq]
 	if p == nil {
@@ -827,6 +901,7 @@ func (n *NIC) handleResponse(m *Message) {
 		n.counters.DupAcks++
 		n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindDupAck,
 			Actor: n.psnActor, QPN: m.DstQPN, PSN: m.PSN, TC: int8(m.TC & 7)})
+		n.putMsg(m)
 		return
 	}
 	qp := n.qps[p.qpn]
@@ -836,6 +911,7 @@ func (n *NIC) handleResponse(m *Message) {
 		if qp != nil {
 			n.handleSeqNak(qp, m)
 		}
+		n.putMsg(m)
 		return
 	}
 	delete(n.pend, m.Seq)
@@ -845,6 +921,16 @@ func (n *NIC) handleResponse(m *Message) {
 		qp.retries = 0
 		n.armRetransmit(qp)
 	}
+	st, result, data := m.Status, m.CompareAdd, m.Data
+	n.putMsg(m)
+	if p.msg != nil && p.retransmits == 0 {
+		// The request went onto the wire exactly once and its response is
+		// here, so the responder is done with it and no duplicate is in
+		// flight: safe to recycle. A retransmitted request may still have a
+		// copy traversing the fabric — those stay with the GC.
+		n.putMsg(p.msg)
+		p.msg = nil
+	}
 	n.rxPU.Submit(n.prof.RxPUTime, 0, func() {
 		finish := func() {
 			n.hostDMA.Submit(n.dmaTransferTime(32)+n.prof.CQEWriteTime, 0, func() {
@@ -852,22 +938,23 @@ func (n *NIC) handleResponse(m *Message) {
 					qp.completed++
 					n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindCQE,
 						Actor: n.cqeActor, QPN: p.qpn, TC: int8(p.wqe.TC),
-						Dur: int64(n.eng.Now().Sub(p.postTime)), Aux: uint64(m.Status)})
+						Dur: int64(n.eng.Now().Sub(p.postTime)), Aux: uint64(st)})
 					if qp.onComplete != nil {
 						qp.onComplete(Completion{
 							QPN: p.qpn, WRID: p.wqe.WRID, Op: p.wqe.Op,
-							Status: m.Status, Bytes: p.wqe.Length, Result: m.CompareAdd,
+							Status: st, Bytes: p.wqe.Length, Result: result,
 							PostTime: p.postTime, DoneTime: n.eng.Now(),
 						})
 					}
 				}
+				n.putPending(p)
 			})
 		}
-		if p.wqe.Op == OpRead && m.Status == StatusOK {
+		if p.wqe.Op == OpRead && st == StatusOK {
 			// DMA the read payload into the host buffer.
 			n.dma(p.wqe.Length, nil, func() {
-				if p.wqe.LocalData != nil && m.Data != nil {
-					copy(p.wqe.LocalData, m.Data)
+				if p.wqe.LocalData != nil && data != nil {
+					copy(p.wqe.LocalData, data)
 				}
 				finish()
 			})

@@ -81,10 +81,8 @@ func (n *NIC) retryParams(qp *qpState) (sim.Duration, int) {
 // its stalled slot for as long as the rest of the window makes progress.
 // Cancelled events never fire, so on a lossless run this is pure bookkeeping.
 func (n *NIC) armRetransmit(qp *qpState) {
-	if qp.rtxTimer != nil {
-		qp.rtxTimer.Cancel()
-		qp.rtxTimer = nil
-	}
+	qp.rtxTimer.Cancel()
+	qp.rtxTimer = sim.Event{}
 	if len(qp.outstanding) == 0 || qp.failed {
 		return
 	}
@@ -105,7 +103,7 @@ func (n *NIC) armRetransmit(qp *qpState) {
 // whole window, or — past the retry limit — the QP fails and every
 // outstanding WQE completes with StatusRetryExcErr.
 func (n *NIC) onRetryTimeout(qp *qpState) {
-	qp.rtxTimer = nil
+	qp.rtxTimer = sim.Event{}
 	if qp.failed || len(qp.outstanding) == 0 {
 		return
 	}
@@ -194,6 +192,10 @@ func (n *NIC) failQP(qp *qpState) {
 					PostTime: p.postTime, DoneTime: n.eng.Now(),
 				})
 			}
+			// The request copy may still be in flight (it likely timed out
+			// on the wire), so only the pending record is recycled — its
+			// message stays with the GC.
+			n.putPending(p)
 		})
 	}
 }
@@ -206,7 +208,8 @@ func (n *NIC) respondNak(req *Message, ackPSN uint32) {
 	n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindNakSend,
 		Actor: n.psnActor, QPN: req.DstQPN, PSN: req.PSN, Aux: uint64(ackPSN),
 		TC: int8(req.TC & 7)})
-	resp := &Message{
+	resp := n.getMsg()
+	*resp = Message{
 		Op: req.Op, SrcQPN: req.DstQPN, DstQPN: req.SrcQPN,
 		Seq: req.Seq, IsResp: true, Status: StatusSeqNak, TC: req.TC,
 		PSN: req.PSN, AckPSN: ackPSN,

@@ -1,0 +1,112 @@
+package sim
+
+import "testing"
+
+// The BenchmarkEngine* family is the CI-guarded scheduler hot path: after the
+// warm-up phase every schedule+fire cycle must run without allocating
+// (scripts/benchguard.go fails the bench-guard job if allocs/op > 0). The
+// closures are created before ResetTimer so the measurement isolates the
+// engine's own cost: slot allocation, heap push/pop and callback dispatch.
+
+// BenchmarkEngineScheduleFire is the minimal steady-state cycle: one
+// self-rescheduling event, so the queue depth stays at 1 and every iteration
+// is exactly one At + one fire.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(10*Nanosecond, fn)
+		}
+	}
+	e.After(10*Nanosecond, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	if n != b.N {
+		b.Fatalf("fired %d, want %d", n, b.N)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineHotQueue keeps 1024 self-rescheduling events in flight so
+// push/pop traverse a realistically deep heap (a covert-channel rig keeps
+// hundreds of timers pending: per-QP retransmit timers, server completions,
+// link serialization and propagation events).
+func BenchmarkEngineHotQueue(b *testing.B) {
+	const depth = 1024
+	e := NewEngine(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			// Vary the delay so the heap actually reorders.
+			e.After(Duration(1+(n*7)%64)*Nanosecond, fn)
+		}
+	}
+	for i := 0; i < depth && i < b.N; i++ {
+		e.After(Duration(1+i%64)*Nanosecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(e.Fired())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineBurst schedules same-timestamp bursts, the pattern the
+// fabric TC queues generate when a window of packets drains in one
+// serialization slot — the case the batch pop exists for.
+func BenchmarkEngineBurst(b *testing.B) {
+	const burst = 64
+	e := NewEngine(1)
+	n := 0
+	var seed func()
+	seed = func() {
+		t := e.Now().Add(10 * Nanosecond)
+		for i := 0; i < burst; i++ {
+			n++
+			if n >= b.N {
+				return
+			}
+			e.At(t, func() {})
+		}
+		if n < b.N {
+			e.At(t, seed)
+		}
+	}
+	e.After(Nanosecond, seed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(e.Fired())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineCancel measures the arm/cancel cycle the go-back-N
+// retransmit timer performs on every completion: schedule a far-future event
+// and cancel it before it fires.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	nop := func() {}
+	var fn func()
+	fn = func() {
+		n++
+		timer := e.After(Millisecond, nop) // armed backstop, never fires
+		timer.Cancel()
+		if n < b.N {
+			e.After(10*Nanosecond, fn)
+		}
+	}
+	e.After(10*Nanosecond, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/sec")
+}

@@ -1,72 +1,96 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
 	"github.com/thu-has/ragnar/internal/trace"
 )
 
-// Event is a scheduled callback. The callback runs exactly once, at the
-// event's virtual time, unless the event is cancelled first.
+// Event is a handle to a scheduled callback. It is a small value (no heap
+// allocation per schedule): the callback itself lives in an engine-owned
+// slot, and the handle names that slot plus the generation it was armed
+// under. Once the event fires or is cancelled the slot is recycled and its
+// generation bumped, so a stale handle can never cancel (or resurrect) a
+// later event that happens to reuse the slot.
+//
+// The zero Event is an inert handle: Cancel is a no-op, Pending reports
+// false. See DESIGN.md §9 for the slot/generation scheme.
 type Event struct {
+	eng      *Engine
+	slot     int32
+	gen      uint32
 	when     Time
-	seq      uint64
-	index    int // heap index, -1 once popped or cancelled
-	fn       func()
 	canceled bool
 }
 
-// When reports the virtual time the event is scheduled for.
-func (e *Event) When() Time { return e.when }
+// When reports the virtual time the event was scheduled for. It stays valid
+// after the event fires.
+func (ev Event) When() Time { return ev.when }
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
-
-// Canceled reports whether the event has been cancelled.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+// already fired (or was already cancelled) is a no-op. Cancel drops the
+// engine's reference to the callback immediately, so anything the closure
+// captured becomes collectable without waiting for the slot to surface in
+// the queue.
+func (ev *Event) Cancel() {
+	if ev.eng == nil {
+		return
 	}
-	return q[i].seq < q[j].seq
+	ev.canceled = true
+	if ev.eng.live(ev.slot, ev.gen) {
+		s := &ev.eng.slots[ev.slot]
+		s.canceled = true
+		s.fn = nil
+	}
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// Canceled reports whether the event has been cancelled (via this handle or
+// any copy of it that shares the slot generation).
+func (ev Event) Canceled() bool {
+	if ev.canceled {
+		return true
+	}
+	return ev.eng != nil && ev.eng.live(ev.slot, ev.gen) && ev.eng.slots[ev.slot].canceled
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// Pending reports whether the event is still scheduled: not yet fired and
+// not cancelled. The zero Event is never pending.
+func (ev Event) Pending() bool {
+	return ev.eng != nil && ev.eng.live(ev.slot, ev.gen) && !ev.eng.slots[ev.slot].canceled
 }
 
 // Engine is a deterministic discrete-event scheduler. It is not safe for
 // concurrent use: all model code runs single-threaded inside event callbacks,
 // which is what makes runs reproducible.
+//
+// Internally the engine is allocation-free on the schedule+fire path (the
+// bench-guard CI job enforces 0 allocs/op): a 4-ary min-heap of value
+// entries orders events, a slab free list recycles callback slots, and a
+// batch buffer drains same-timestamp runs without touching the heap for
+// events scheduled "now" during the run — the common burst pattern when a
+// fabric TC queue drains. See heap.go and DESIGN.md §9.
 type Engine struct {
 	now    Time
-	queue  eventQueue
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
 	halted bool
+
+	// Priority queue state (heap.go).
+	heap  []heapEntry
+	slots []eventSlot
+	free  int32
+
+	// Same-timestamp batch: the run of minimum-time entries popped from the
+	// heap, fired in seq order. While a batch for batchTime is active, At()
+	// appends same-time events directly to it (their seq is necessarily
+	// larger than everything already in the batch), skipping a heap
+	// round-trip per event.
+	batch     []heapEntry
+	batchIdx  int
+	batchOn   bool
+	batchTime Time
 
 	rec      *trace.Recorder
 	recActor uint16
@@ -75,7 +99,13 @@ type Engine struct {
 // NewEngine returns an engine whose random source is seeded with seed.
 // Identical seeds yield identical runs.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{
+		rng:   rand.New(rand.NewSource(seed)),
+		heap:  make([]heapEntry, 0, 256),
+		slots: make([]eventSlot, 0, 256),
+		batch: make([]heapEntry, 0, 64),
+		free:  noSlot,
+	}
 }
 
 // Now returns the current virtual time.
@@ -88,24 +118,38 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are scheduled but not yet fired.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many events are scheduled but not yet fired
+// (cancelled events count until their queue entry is reaped, matching the
+// previous container/heap behaviour).
+func (e *Engine) Pending() int {
+	return len(e.heap) + (len(e.batch) - e.batchIdx)
+}
 
 // At schedules fn at absolute virtual time t. Scheduling in the past panics:
 // it is always a model bug, and silently clamping would mask causality
 // violations.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn}
+	idx := e.allocSlot(fn)
+	ent := heapEntry{when: t, seq: e.seq, slot: idx}
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	if e.batchOn && t == e.batchTime {
+		// Fast path: the engine is mid-way through firing the batch for
+		// exactly this timestamp. The new event's seq is greater than every
+		// entry already in the batch and no entry for batchTime remains in
+		// the heap (the refill popped the whole run), so appending preserves
+		// (when, seq) order.
+		e.batch = append(e.batch, ent)
+	} else {
+		e.heapPush(ent)
+	}
+	return Event{eng: e, slot: idx, gen: e.slots[idx].gen, when: t}
 }
 
 // After schedules fn d after the current time. Negative delays panic.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -134,23 +178,78 @@ func (e *Engine) Halt() {
 // step pops and fires the next event. It reports false when the queue is
 // empty.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
+	for {
+		// Drain the active same-timestamp batch first.
+		for e.batchIdx < len(e.batch) {
+			ent := e.batch[e.batchIdx]
+			e.batchIdx++
+			if e.slots[ent.slot].canceled {
+				e.freeSlot(ent.slot)
+				continue
+			}
+			fn := e.slots[ent.slot].fn
+			e.freeSlot(ent.slot)
+			e.now = ent.when
+			e.fired++
+			fn()
+			return true
+		}
+		if e.batchOn {
+			e.batch = e.batch[:0]
+			e.batchIdx = 0
+			e.batchOn = false
+		}
+		if len(e.heap) == 0 {
+			return false
+		}
+		// Refill: pop the entire run of minimum-timestamp entries in one
+		// go. Repeated pops of equal-time entries come out in seq order, so
+		// the batch is already FIFO-sorted.
+		t := e.heap[0].when
+		for len(e.heap) > 0 && e.heap[0].when == t {
+			e.batch = append(e.batch, e.heapPop())
+		}
+		e.batchIdx = 0
+		e.batchOn = true
+		e.batchTime = t
+	}
+}
+
+// next prunes cancelled events off the front of the queue and reports the
+// earliest pending timestamp without consuming the event.
+func (e *Engine) next() (Time, bool) {
+	for {
+		if e.batchOn {
+			if e.batchIdx < len(e.batch) {
+				ent := e.batch[e.batchIdx]
+				if e.slots[ent.slot].canceled {
+					e.freeSlot(ent.slot)
+					e.batchIdx++
+					continue
+				}
+				return ent.when, true
+			}
+			e.batch = e.batch[:0]
+			e.batchIdx = 0
+			e.batchOn = false
+		}
+		if len(e.heap) == 0 {
+			return 0, false
+		}
+		ent := e.heap[0]
+		if e.slots[ent.slot].canceled {
+			e.heapPop()
+			e.freeSlot(ent.slot)
 			continue
 		}
-		e.now = ev.when
-		e.fired++
-		ev.fn()
-		return true
+		return ent.when, true
 	}
-	return false
 }
 
 // Run executes events until the queue drains or Halt is called.
 func (e *Engine) Run() {
 	e.rec.Emit(trace.Event{At: int64(e.now), Kind: trace.KindEngineRun, Actor: e.recActor,
-		Val: uint64(len(e.queue)), TC: -1})
+		Val: uint64(e.Pending()), TC: -1})
 	e.halted = false
 	for !e.halted && e.step() {
 	}
@@ -160,19 +259,11 @@ func (e *Engine) Run() {
 // clock to the deadline. Events scheduled beyond the deadline stay queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.rec.Emit(trace.Event{At: int64(e.now), Kind: trace.KindEngineRun, Actor: e.recActor,
-		Val: uint64(len(e.queue)), Aux: uint64(deadline), TC: -1})
+		Val: uint64(e.Pending()), Aux: uint64(deadline), TC: -1})
 	e.halted = false
 	for !e.halted {
-		if len(e.queue) == 0 {
-			break
-		}
-		// Peek: queue[0] is the earliest pending event.
-		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.when > deadline {
+		when, ok := e.next()
+		if !ok || when > deadline {
 			break
 		}
 		e.step()

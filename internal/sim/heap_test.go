@@ -1,0 +1,415 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Property: fire order matches a reference sort.
+
+// TestHeapMatchesReferenceSort drives random schedules (duplicate
+// timestamps, random pre-run cancels) and checks the fire order against a
+// stable sort by (when, seq) with cancelled entries removed — the scheduler
+// contract stated in DESIGN.md §9.
+func TestHeapMatchesReferenceSort(t *testing.T) {
+	type scheduled struct {
+		id     int
+		when   Time
+		cancel bool
+	}
+	f := func(delays []uint16, cancelBits []bool) bool {
+		e := NewEngine(1)
+		var plan []scheduled
+		var got []int
+		for i, d := range delays {
+			// Coarse quantisation forces plenty of same-timestamp ties.
+			when := Time(d % 64)
+			cancel := i < len(cancelBits) && cancelBits[i]
+			plan = append(plan, scheduled{id: i, when: when, cancel: cancel})
+			id := i
+			ev := e.At(when, func() { got = append(got, id) })
+			if cancel {
+				ev.Cancel()
+			}
+		}
+		e.Run()
+		var want []int
+		sort.SliceStable(plan, func(i, j int) bool { return plan[i].when < plan[j].when })
+		for _, s := range plan {
+			if !s.cancel {
+				want = append(want, s.id)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSameTimestampFIFOThroughBatch covers the batch fast path: events
+// scheduled *for the current timestamp from inside a callback* must fire
+// after every earlier event of that timestamp, in schedule order.
+func TestSameTimestampFIFOThroughBatch(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	at := Time(10 * Nanosecond)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(at, func() {
+			got = append(got, i)
+			if i == 1 {
+				// Mid-batch schedule at the same timestamp: takes the
+				// direct-append fast path.
+				e.At(at, func() { got = append(got, 100) })
+				e.At(at, func() { got = append(got, 101) })
+			}
+		})
+	}
+	e.Run()
+	want := []int{0, 1, 2, 3, 4, 100, 101}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBatchCancelMidRun cancels a same-timestamp sibling from within the
+// batch that contains it.
+func TestBatchCancelMidRun(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	at := Time(5 * Nanosecond)
+	var victim Event
+	e.At(at, func() {
+		got = append(got, 0)
+		victim.Cancel()
+	})
+	victim = e.At(at, func() { got = append(got, 1) })
+	e.At(at, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("fired %v, want [0 2]", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Free-list / generation safety.
+
+// TestFreeListNoResurrection checks that a stale handle (its event fired or
+// cancelled, its slot since recycled) cannot cancel — or report state for —
+// the slot's new occupant.
+func TestFreeListNoResurrection(t *testing.T) {
+	e := NewEngine(1)
+	a := e.After(Nanosecond, func() { t.Error("cancelled event fired") })
+	a.Cancel()
+	e.Run() // reaps the cancelled entry, frees the slot
+	if a.Pending() {
+		t.Fatal("cancelled+reaped handle still pending")
+	}
+
+	fired := false
+	b := e.After(Nanosecond, func() { fired = true }) // reuses a's slot
+	a.Cancel()                                        // stale: must not touch b
+	if !b.Pending() {
+		t.Fatal("fresh event lost its pending state to a stale Cancel")
+	}
+	if b.Canceled() {
+		t.Fatal("fresh event reports cancelled after stale Cancel")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("stale handle cancelled the slot's new occupant")
+	}
+
+	// Use-after-fire: b has fired; cancelling it must not touch whatever
+	// occupies the slot next.
+	ok := false
+	c := e.After(Nanosecond, func() { ok = true })
+	b.Cancel()
+	e.Run()
+	if !ok {
+		t.Fatal("fired handle's Cancel leaked into reused slot")
+	}
+	_ = c
+}
+
+// TestHandleStateAcrossLifetime pins the Event handle accessors across the
+// schedule → fire → reuse lifecycle.
+func TestHandleStateAcrossLifetime(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.After(3*Nanosecond, func() {})
+	if !ev.Pending() || ev.Canceled() {
+		t.Fatal("fresh event not pending")
+	}
+	if ev.When() != Time(3*Nanosecond) {
+		t.Fatalf("When = %v", ev.When())
+	}
+	e.Run()
+	if ev.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	if ev.When() != Time(3*Nanosecond) {
+		t.Fatal("When lost after fire")
+	}
+	var zero Event
+	if zero.Pending() || zero.Canceled() {
+		t.Fatal("zero Event must be inert")
+	}
+	zero.Cancel() // must not panic
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence against the previous container/heap scheduler.
+
+// refEngine is a faithful copy of the pre-refactor scheduler: container/heap
+// over *refEvent with (when, seq) ordering and lazy cancellation. It exists
+// so the determinism suite can replay identical schedules on both
+// implementations and compare fire orders event for event.
+type refEvent struct {
+	when     Time
+	seq      uint64
+	index    int
+	fn       func()
+	canceled bool
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *refQueue) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+type refEngine struct {
+	now   Time
+	seq   uint64
+	queue refQueue
+}
+
+func (e *refEngine) at(t Time, fn func()) *refEvent {
+	ev := &refEvent{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+func (e *refEngine) run() {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*refEvent)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		ev.fn()
+	}
+}
+
+// schedOp drives one callback of a recorded schedule: how many children to
+// schedule (and at which relative delays), and which earlier event to
+// cancel, if any. The schedule is generated once per seed and replayed
+// verbatim on both engines.
+type schedOp struct {
+	delays    []Duration // children to schedule from this callback
+	cancelIdx int        // event id to cancel from this callback, -1 none
+}
+
+func genSchedule(seed int64, n int) []schedOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]schedOp, n)
+	for i := range ops {
+		k := rng.Intn(3)
+		for j := 0; j < k; j++ {
+			// Mix of zero (same-timestamp fast path), small and large delays.
+			var d Duration
+			switch rng.Intn(3) {
+			case 0:
+				d = 0
+			case 1:
+				d = Duration(rng.Intn(50)) * Nanosecond
+			default:
+				d = Duration(rng.Intn(5000)) * Nanosecond
+			}
+			ops[i].delays = append(ops[i].delays, d)
+		}
+		ops[i].cancelIdx = -1
+		if rng.Intn(4) == 0 {
+			ops[i].cancelIdx = rng.Intn(n)
+		}
+	}
+	return ops
+}
+
+// TestEngineMatchesReferenceHeap replays recorded schedules — nested
+// scheduling, same-timestamp bursts, cross-cancellation — on the production
+// engine and on the container/heap reference, and requires identical fire
+// orders.
+func TestEngineMatchesReferenceHeap(t *testing.T) {
+	const nOps = 400
+	for seed := int64(1); seed <= 25; seed++ {
+		ops := genSchedule(seed, nOps)
+
+		runNew := func() []int {
+			e := NewEngine(1)
+			var got []int
+			handles := make([]Event, nOps)
+			next := 0
+			var fire func(id int) func()
+			fire = func(id int) func() {
+				return func() {
+					got = append(got, id)
+					op := ops[id%nOps]
+					for _, d := range op.delays {
+						if next < nOps {
+							id2 := next
+							next++
+							handles[id2] = e.After(d, fire(id2))
+						}
+					}
+					if op.cancelIdx >= 0 && op.cancelIdx < next {
+						handles[op.cancelIdx].Cancel()
+					}
+				}
+			}
+			for i := 0; i < 8; i++ {
+				id := next
+				next++
+				handles[id] = e.After(Duration(i)*Nanosecond, fire(id))
+			}
+			e.Run()
+			return got
+		}
+
+		runRef := func() []int {
+			e := &refEngine{}
+			var got []int
+			handles := make([]*refEvent, nOps)
+			next := 0
+			var fire func(id int) func()
+			fire = func(id int) func() {
+				return func() {
+					got = append(got, id)
+					op := ops[id%nOps]
+					for _, d := range op.delays {
+						if next < nOps {
+							id2 := next
+							next++
+							handles[id2] = e.at(e.now.Add(d), fire(id2))
+						}
+					}
+					if op.cancelIdx >= 0 && op.cancelIdx < next && handles[op.cancelIdx] != nil {
+						handles[op.cancelIdx].canceled = true
+					}
+				}
+			}
+			for i := 0; i < 8; i++ {
+				id := next
+				next++
+				handles[id] = e.at(Time(Duration(i)*Nanosecond), fire(id))
+			}
+			e.run()
+			return got
+		}
+
+		got, want := runNew(), runRef()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: orders diverge at %d: %d vs %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GC regression: fired and cancelled callbacks must be unreachable.
+
+func waitCollected(t *testing.T, collected chan struct{}, what string) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatalf("%s still reachable after GC: the engine retains the callback", what)
+}
+
+// TestFiredCallbackCollectable is the regression test for the old engine's
+// leak: a fired event's *Event kept its closure — and every rig object the
+// closure captured — alive for as long as the caller held the handle. The
+// slot-based engine clears fn when the slot is freed, so holding the handle
+// must not pin the callback.
+func TestFiredCallbackCollectable(t *testing.T) {
+	e := NewEngine(1)
+	collected := make(chan struct{})
+	ev := func() Event {
+		rig := new([1 << 16]byte) // stand-in for a captured rig
+		runtime.SetFinalizer(rig, func(*[1 << 16]byte) { close(collected) })
+		return e.After(Nanosecond, func() { rig[0] = 1 })
+	}()
+	e.Run()
+	waitCollected(t, collected, "fired callback")
+	if ev.Pending() {
+		t.Fatal("fired event still pending")
+	}
+}
+
+// TestCancelledCallbackCollectable: Cancel must drop the callback reference
+// immediately, even while the queue entry is still waiting to be reaped.
+func TestCancelledCallbackCollectable(t *testing.T) {
+	e := NewEngine(1)
+	collected := make(chan struct{})
+	ev := func() Event {
+		rig := new([1 << 16]byte)
+		runtime.SetFinalizer(rig, func(*[1 << 16]byte) { close(collected) })
+		return e.After(Millisecond, func() { rig[0] = 1 })
+	}()
+	ev.Cancel()
+	// No Run: the cancelled entry still sits in the heap, but fn is gone.
+	waitCollected(t, collected, "cancelled callback")
+}

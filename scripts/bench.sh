@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Refresh the machine-readable performance baseline.
+#
+# Runs the rebench bench probes (scheduler hot path, covert-channel
+# transmits, lossgrid) and writes BENCH_<date>.json at the repo root —
+# check the file in so perf history travels with the code. Pass an output
+# path to override, e.g. scripts/bench.sh /tmp/after.json for a local
+# before/after comparison. See EXPERIMENTS.md "Performance baseline" for
+# how to read the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+OUT=${1:-BENCH_$(date -u +%F).json}
+
+"$GO" run ./cmd/rebench -nic cx5 bench -out "$OUT"
