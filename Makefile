@@ -4,8 +4,9 @@
 #                     the parallel-vs-sequential equivalence check
 #   make test       - plain test run (tier-1: go build ./... && go test ./...)
 #   make bench      - regenerate the paper artifacts via the benchmark harness
-#   make benchguard - allocation gate: scheduler + disabled-trace hot paths
-#                     must report 0 allocs/op (same gate CI runs)
+#   make benchguard - allocation gate: scheduler, disabled-trace and switch
+#                     forwarding hot paths must report 0 allocs/op (same
+#                     gate CI runs)
 #   make perf       - refresh the machine-readable perf baseline
 #                     (BENCH_<date>.json, see EXPERIMENTS.md)
 #   make trace-demo - sample flight-recorder trace from the lossy covert rig
@@ -43,8 +44,8 @@ bench:
 # The hot paths the zero-alloc refactor bought must stay allocation-free:
 # run the guarded benchmarks with -benchmem and gate on allocs/op == 0.
 benchguard:
-	$(GO) test -run '^$$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled)' \
-		-benchtime 1000x -benchmem ./internal/sim ./internal/trace \
+	$(GO) test -run '^$$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward)' \
+		-benchtime 1000x -benchmem ./internal/sim ./internal/trace ./internal/fabric \
 		| $(GO) run ./scripts/benchguard.go
 
 perf:

@@ -12,6 +12,7 @@ import (
 	"github.com/thu-has/ragnar/internal/bitstream"
 	"github.com/thu-has/ragnar/internal/covert"
 	"github.com/thu-has/ragnar/internal/experiments"
+	"github.com/thu-has/ragnar/internal/fabric"
 	"github.com/thu-has/ragnar/internal/nic"
 	"github.com/thu-has/ragnar/internal/sim"
 )
@@ -19,11 +20,15 @@ import (
 // The bench subcommand is the repo's machine-readable perf baseline: it runs
 // the hot-path benchmarks through testing.Benchmark and emits one JSON
 // document per run, designed to be checked in as BENCH_<date>.json (see
-// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Four probes:
+// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Five probes:
 //
 //   - engine-schedule-fire: raw scheduler cost, one self-rescheduling event
 //     (the same steady-state pattern the bench-guard CI job gates at
 //     0 allocs/op);
+//   - switch-forward: per-packet cost of the switched-fabric forwarding
+//     path — ingress lookup, shared-buffer admission, forwarding pipe,
+//     egress ETS scheduling, serialization and propagation (the
+//     BenchmarkSwitchForward pattern, also gated at 0 allocs/op);
 //   - channel-inter-mr / channel-intra-mr: full covert-channel transmits —
 //     NIC + fabric + transport — with simulated events/sec derived from the
 //     engine's fired-event counter;
@@ -95,6 +100,38 @@ func benchCmd(prof nic.Profile, seed int64, args []string) error {
 		e.Run()
 	})
 	doc.Benchmarks = append(doc.Benchmarks, record("engine-schedule-fire", r, 1))
+
+	// Switch forwarding steady state: a paced injector streams 1 KB packets
+	// through a one-output switch (1024 B at 100 Gbps serializes in ~82 ns,
+	// under the 200 ns pace, so queues stay bounded). Each op is one packet
+	// end to end; events/op comes from the engine's fired counter.
+	var swFired uint64
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine(seed)
+		sw := fabric.NewSwitch(e, fabric.SwitchConfig{
+			Name:           "bench",
+			FwdDelay:       300 * sim.Nanosecond,
+			SharedBufBytes: 1 << 20,
+			XOffBytes:      96 << 10,
+		})
+		out := sw.AddPort("host", 100, 100*sim.Nanosecond, 0, fabric.DefaultQoS(), func(fabric.Packet) {})
+		sw.Route(1, out)
+		n := 0
+		var inject func()
+		inject = func() {
+			n++
+			sw.Ingress(fabric.Packet{TC: 3, Bytes: 1024, Dst: 1})
+			if n < b.N {
+				e.After(200*sim.Nanosecond, inject)
+			}
+		}
+		b.ResetTimer()
+		e.After(sim.Nanosecond, inject)
+		e.Run()
+		swFired = e.Fired()
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("switch-forward", r, swFired/uint64(r.N)))
 
 	payload := bitstream.RandomBits(7, 64)
 	for _, ch := range []struct {

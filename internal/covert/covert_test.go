@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/thu-has/ragnar/internal/bitstream"
+	"github.com/thu-has/ragnar/internal/lab"
 	"github.com/thu-has/ragnar/internal/nic"
 	"github.com/thu-has/ragnar/internal/stats"
 )
@@ -185,5 +186,41 @@ func TestFoldedTraceShowsTwoLevels(t *testing.T) {
 	hi := stats.Mean(run.Folded.Mean[18:30])
 	if lo > 0.4 || hi < 0.6 {
 		t.Fatalf("folded trace not bimodal: lo=%.2f hi=%.2f (%v)", lo, hi, run.Folded.Mean)
+	}
+}
+
+// TestInterMRChannelOnStar runs the Grain-III channel across a shared
+// switch: sender and receiver sit on separate star ports, so every covert
+// read and every probe traverses the switch. The channel survives because
+// the latency it modulates lives in the server RNIC's translation pipeline —
+// the switch only adds a constant forwarding delay.
+func TestInterMRChannelOnStar(t *testing.T) {
+	cfg := lab.DefaultConfig(nic.CX5)
+	cfg.Seed = 21
+	ch, err := NewInterMRChannelOn(lab.Star(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := ch.Transmit(bitstream.RandomBits(77, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.ErrorRate > 0.15 {
+		t.Errorf("star inter-MR error rate %.1f%%, want <= 15%%", run.Result.ErrorRate*100)
+	}
+	if ch.Cluster.Switches[0].FwdPackets() == 0 {
+		t.Error("no packets traversed the switch")
+	}
+}
+
+// TestChannelOnNeedsTwoClients pins the On-variant's topology validation.
+func TestChannelOnNeedsTwoClients(t *testing.T) {
+	cfg := lab.DefaultConfig(nic.CX5)
+	cfg.Clients = 1
+	if _, err := NewInterMRChannelOn(lab.Star(cfg)); err == nil {
+		t.Fatal("1-client topology should be rejected")
+	}
+	if _, err := NewIntraMRChannelOn(lab.Star(cfg)); err == nil {
+		t.Fatal("1-client topology should be rejected")
 	}
 }

@@ -206,14 +206,26 @@ func intraMRParams(p nic.Profile) ulichanParams {
 	}
 }
 
-// NewInterMRChannel builds the Grain-III channel on a fresh cluster: three
-// MRs on the server (the receiver probes A; the sender touches A for bit 0
-// — no MR switch in the TPU pipeline — or B for bit 1, forcing an MR-context
-// switch on every interleaved translation).
+// NewInterMRChannel builds the Grain-III channel on a fresh point-to-point
+// cluster: three MRs on the server (the receiver probes A; the sender
+// touches A for bit 0 — no MR switch in the TPU pipeline — or B for bit 1,
+// forcing an MR-context switch on every interleaved translation).
 func NewInterMRChannel(p nic.Profile, seed int64) (*ULIChannel, error) {
 	cfg := lab.DefaultConfig(p)
 	cfg.Seed = seed
-	c := lab.New(cfg)
+	return NewInterMRChannelOn(lab.Pair(cfg))
+}
+
+// NewInterMRChannelOn builds the Grain-III channel on an already-built
+// topology — client 0 receives, client 1 sends — so switched rigs (Star,
+// DualRail, Build) reuse the exact transmit machinery the point-to-point
+// channel uses. The topology must be freshly built: the channel dials and
+// warms its own connections.
+func NewInterMRChannelOn(c *lab.Cluster) (*ULIChannel, error) {
+	if len(c.Clients) < 2 {
+		return nil, fmt.Errorf("covert: topology has %d clients, need 2", len(c.Clients))
+	}
+	p := c.Profile
 	prm := interMRParams(p)
 	mrA, err := c.RegisterServerMR(2 << 20)
 	if err != nil {
@@ -250,13 +262,24 @@ func NewInterMRChannel(p nic.Profile, seed int64) (*ULIChannel, error) {
 	}, nil
 }
 
-// NewIntraMRChannel builds the Grain-IV channel: one shared MR; the sender
-// encodes bits purely in its access offset (0 B vs 255/257 B), indistinguish-
-// able from benign address variation to Grain-I..III monitors.
+// NewIntraMRChannel builds the Grain-IV channel on a fresh point-to-point
+// cluster: one shared MR; the sender encodes bits purely in its access
+// offset (0 B vs 255/257 B), indistinguishable from benign address variation
+// to Grain-I..III monitors.
 func NewIntraMRChannel(p nic.Profile, seed int64) (*ULIChannel, error) {
 	cfg := lab.DefaultConfig(p)
 	cfg.Seed = seed
-	c := lab.New(cfg)
+	return NewIntraMRChannelOn(lab.Pair(cfg))
+}
+
+// NewIntraMRChannelOn builds the Grain-IV channel on an already-built
+// topology (client 0 receives, client 1 sends), mirroring
+// NewInterMRChannelOn.
+func NewIntraMRChannelOn(c *lab.Cluster) (*ULIChannel, error) {
+	if len(c.Clients) < 2 {
+		return nil, fmt.Errorf("covert: topology has %d clients, need 2", len(c.Clients))
+	}
+	p := c.Profile
 	prm := intraMRParams(p)
 	mr, err := c.RegisterServerMR(2 << 20)
 	if err != nil {

@@ -22,8 +22,12 @@ const NumTCs = 8
 // Packet is one unit on the wire. Payload is opaque to the fabric; the
 // receiving NIC interprets it.
 type Packet struct {
-	TC      int // traffic class 0..7
-	Bytes   int // wire size including headers
+	TC    int // traffic class 0..7
+	Bytes int // wire size including headers
+	// Dst is the fabric-level destination address (assigned per NIC by
+	// verbs.Network). Direct point-to-point links ignore it; switches use it
+	// for forwarding-table lookups without interpreting the payload.
+	Dst     uint32
 	Payload any
 	// Corrupt marks a packet whose payload integrity was lost in flight
 	// (FaultPlan corruption). The receiving NIC must treat it like an ICRC
@@ -115,6 +119,14 @@ type Link struct {
 	quantum [NumTCs]int
 	busy    bool
 	sink    func(Packet)
+	// paused marks TCs held by priority flow control: a paused class keeps
+	// accepting enqueues but is never picked for service until resumed.
+	paused [NumTCs]bool
+	// onDequeue, when set, fires as a packet leaves its TC queue for the
+	// wire — the hook a switch uses to release shared-buffer occupancy. It is
+	// installed once at wiring time (never per packet) to keep the serve path
+	// allocation-free.
+	onDequeue func(tc, bytes int)
 
 	// Single-slot serialization state: exactly one packet clocks onto the
 	// wire at a time (drain recurses only from txDone), so the completion
@@ -122,6 +134,13 @@ type Link struct {
 	inflight    Packet
 	inflightSer sim.Duration
 	txDone      func()
+
+	// Propagation legs overlap across packets, but propDelay is constant, so
+	// they complete in FIFO order: a reusable ring plus one pre-bound
+	// callback replaces the per-packet closure this leg used to allocate.
+	propQ    []Packet
+	propHead int
+	propDone func()
 
 	// Telemetry, per TC.
 	txBytes   [NumTCs]uint64
@@ -148,6 +167,7 @@ func NewLink(eng *sim.Engine, name string, rateGbps float64, prop sim.Duration, 
 	}
 	l := &Link{eng: eng, name: name, rateGbps: rateGbps, propDelay: prop, maxQueue: maxQueue, sink: sink}
 	l.txDone = l.finishTx
+	l.propDone = l.deliver
 	l.SetQoS(DefaultQoS())
 	return l
 }
@@ -214,6 +234,35 @@ func (l *Link) SetRecorder(r *trace.Recorder) {
 	l.recActor = r.RegisterActor(l.name)
 }
 
+// SetOnDequeue installs the dequeue hook (nil clears it). Install at wiring
+// time only; the hook runs synchronously inside the serve path.
+func (l *Link) SetOnDequeue(f func(tc, bytes int)) { l.onDequeue = f }
+
+// PauseTC asserts priority flow control on one class: the link stops serving
+// that TC (enqueues still succeed) until ResumeTC.
+func (l *Link) PauseTC(tc int) { l.paused[tc] = true }
+
+// ResumeTC releases a PFC pause and restarts service if the link went idle
+// while everything runnable was paused.
+func (l *Link) ResumeTC(tc int) {
+	if !l.paused[tc] {
+		return
+	}
+	l.paused[tc] = false
+	if !l.busy && l.qLen(tc) > 0 {
+		l.drain()
+	}
+}
+
+// PausedTC reports whether a class is currently paused.
+func (l *Link) PausedTC(tc int) bool { return l.paused[tc] }
+
+// HasFaultPlan reports whether a fault-injection plan is installed.
+func (l *Link) HasFaultPlan() bool { return l.plan != nil }
+
+// Name returns the link's wiring name.
+func (l *Link) Name() string { return l.name }
+
 // SerializationDelay returns the time to clock the given bytes onto the wire.
 func (l *Link) SerializationDelay(bytes int) sim.Duration {
 	// bits / (Gbps * 1e9) seconds = bits / rate ns = bits * 1000 / rate ps.
@@ -249,24 +298,26 @@ func (l *Link) Send(p Packet) error {
 // wins), then DWRR among ETS classes.
 func (l *Link) pick() int {
 	for tc := 0; tc < NumTCs; tc++ {
-		if l.qos.Mode[tc] == Strict && l.qLen(tc) > 0 {
+		if l.qos.Mode[tc] == Strict && l.qLen(tc) > 0 && !l.paused[tc] {
 			return tc
 		}
 	}
 	// DWRR: loop until some class has enough deficit for its head packet.
+	// Paused classes neither serve nor replenish — they resume with the
+	// deficit they had when the pause arrived.
 	for round := 0; round < 2*NumTCs+1; round++ {
 		for tc := 0; tc < NumTCs; tc++ {
-			if l.qos.Mode[tc] != ETS || l.qLen(tc) == 0 {
+			if l.qos.Mode[tc] != ETS || l.qLen(tc) == 0 || l.paused[tc] {
 				continue
 			}
 			if l.deficit[tc] >= l.queues[tc][l.qHead[tc]].Bytes {
 				return tc
 			}
 		}
-		// No class ready: replenish all backlogged ETS classes.
+		// No class ready: replenish all backlogged, unpaused ETS classes.
 		replenished := false
 		for tc := 0; tc < NumTCs; tc++ {
-			if l.qos.Mode[tc] == ETS && l.qLen(tc) > 0 {
+			if l.qos.Mode[tc] == ETS && l.qLen(tc) > 0 && !l.paused[tc] {
 				l.deficit[tc] += l.quantum[tc]
 				replenished = true
 			}
@@ -278,7 +329,7 @@ func (l *Link) pick() int {
 	// Pathological packet larger than any quantum accumulation window:
 	// serve the first backlogged class to guarantee progress.
 	for tc := 0; tc < NumTCs; tc++ {
-		if l.qLen(tc) > 0 {
+		if l.qLen(tc) > 0 && !l.paused[tc] {
 			return tc
 		}
 	}
@@ -301,6 +352,9 @@ func (l *Link) drain() {
 	}
 	if l.qLen(tc) == 0 {
 		l.deficit[tc] = 0 // DRR: idle classes forfeit their deficit
+	}
+	if l.onDequeue != nil {
+		l.onDequeue(p.TC, p.Bytes)
 	}
 	l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindTCDequeue,
 		Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes),
@@ -340,12 +394,46 @@ func (l *Link) finishTx() {
 		l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireCorrupt,
 			Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
 	}
-	l.eng.After(l.propDelay, func() {
-		if l.sink != nil {
-			l.sink(p)
-		}
-	})
+	l.propPush(p)
+	l.eng.After(l.propDelay, l.propDone)
 	l.drain()
+}
+
+// propPush appends to the propagation ring, rewinding or compacting the
+// backing slice first when the consumed prefix dominates it (same discipline
+// as the TC rings).
+func (l *Link) propPush(p Packet) {
+	q := l.propQ
+	if h := l.propHead; h > 0 {
+		if h == len(q) {
+			q = q[:0]
+			l.propHead = 0
+		} else if h >= 64 && h*2 >= len(q) {
+			n := copy(q, q[h:])
+			q = q[:n]
+			l.propHead = 0
+		}
+	}
+	l.propQ = append(q, p)
+}
+
+// deliver completes the oldest in-flight propagation leg. Serializations
+// finish in strictly increasing time and every leg adds the same propDelay,
+// so arrivals pop in push order; the vacated slot is zeroed so the ring does
+// not pin delivered payloads.
+func (l *Link) deliver() {
+	h := l.propHead
+	p := l.propQ[h]
+	l.propQ[h] = Packet{}
+	h++
+	if h == len(l.propQ) {
+		l.propQ = l.propQ[:0]
+		h = 0
+	}
+	l.propHead = h
+	if l.sink != nil {
+		l.sink(p)
+	}
 }
 
 // SetFaultPlan installs (or, with nil, clears) a fault-injection plan. The

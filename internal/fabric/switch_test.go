@@ -1,0 +1,265 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+// twoPortRig wires host0 -> switch -> host1: an upstream link feeding the
+// switch's Ingress and two egress ports with collector sinks.
+type twoPortRig struct {
+	eng  *sim.Engine
+	sw   *Switch
+	up   *Link // host0's uplink into the switch
+	got0 []Packet
+	got1 []Packet
+}
+
+func newTwoPortRig(t *testing.T, cfg SwitchConfig) *twoPortRig {
+	t.Helper()
+	r := &twoPortRig{eng: sim.NewEngine(1)}
+	r.sw = NewSwitch(r.eng, cfg)
+	p0 := r.sw.AddPort("h0", 100, 100*sim.Nanosecond, 0, DefaultQoS(), func(p Packet) { r.got0 = append(r.got0, p) })
+	p1 := r.sw.AddPort("h1", 100, 100*sim.Nanosecond, 0, DefaultQoS(), func(p Packet) { r.got1 = append(r.got1, p) })
+	r.up = NewLink(r.eng, "h0->sw", 100, 100*sim.Nanosecond, 0, r.sw.Ingress)
+	r.sw.SetUpstream(p0, r.up)
+	r.sw.Route(0, p0)
+	r.sw.Route(1, p1)
+	return r
+}
+
+func TestSwitchForwarding(t *testing.T) {
+	r := newTwoPortRig(t, SwitchConfig{Name: "sw", FwdDelay: 300 * sim.Nanosecond})
+	var arrival sim.Time
+	r.eng.After(0, func() {
+		if err := r.up.Send(Packet{TC: 0, Bytes: 1250, Dst: 1, Payload: "x"}); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	r.sw.EgressLink(1) // touch accessor
+	r.eng.Run()
+	if len(r.got1) != 1 || r.got1[0].Payload != "x" {
+		t.Fatalf("port 1 got %v", r.got1)
+	}
+	if len(r.got0) != 0 {
+		t.Fatalf("port 0 got %v, want nothing", r.got0)
+	}
+	_ = arrival
+	// Uplink ser 100ns + prop 100ns, fwd 300ns, egress ser 100ns + prop 100ns.
+	if now := r.eng.Now(); now != sim.Time(700*sim.Nanosecond) {
+		t.Fatalf("last delivery at %v, want 700ns", now)
+	}
+	if r.sw.FwdPackets() != 1 || r.sw.FwdBytes() != 1250 {
+		t.Fatalf("fwd counters = %d pkts %d bytes", r.sw.FwdPackets(), r.sw.FwdBytes())
+	}
+	if r.sw.BufUsed() != 0 {
+		t.Fatalf("buffer not drained: %d bytes", r.sw.BufUsed())
+	}
+}
+
+func TestSwitchForwardingFIFO(t *testing.T) {
+	r := newTwoPortRig(t, SwitchConfig{FwdDelay: 300 * sim.Nanosecond})
+	const n = 50
+	for i := 0; i < n; i++ {
+		i := i
+		r.eng.After(sim.Duration(i)*10*sim.Nanosecond, func() {
+			r.up.Send(Packet{TC: 2, Bytes: 256, Dst: 1, Payload: i})
+		})
+	}
+	r.eng.Run()
+	if len(r.got1) != n {
+		t.Fatalf("delivered %d, want %d", len(r.got1), n)
+	}
+	for i, p := range r.got1 {
+		if p.Payload.(int) != i {
+			t.Fatalf("order violated at %d: %v", i, p.Payload)
+		}
+	}
+}
+
+func TestSwitchUnroutable(t *testing.T) {
+	r := newTwoPortRig(t, SwitchConfig{})
+	r.eng.After(0, func() {
+		r.up.Send(Packet{TC: 0, Bytes: 100, Dst: 99})
+	})
+	r.eng.Run()
+	if len(r.got0)+len(r.got1) != 0 {
+		t.Fatal("unroutable packet was delivered")
+	}
+	if r.sw.Unroutable() != 1 {
+		t.Fatalf("unroutable = %d, want 1", r.sw.Unroutable())
+	}
+	if r.sw.BufUsed() != 0 {
+		t.Fatalf("unroutable packet left %d bytes in buffer", r.sw.BufUsed())
+	}
+}
+
+func TestSwitchSharedBufferDrop(t *testing.T) {
+	// Pool holds two queued 1000B packets. A burst of four into a slow
+	// (1 Gbps) egress: packet 1 goes straight to the serializer (occupancy
+	// released at dequeue-to-wire), packets 2 and 3 fill the pool, packet 4
+	// must tail-drop at admission.
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng, SwitchConfig{SharedBufBytes: 2000})
+	var got int
+	sp := sw.AddPort("h", 1, 0, 0, DefaultQoS(), func(Packet) { got++ }) // 1 Gbps: 8µs per 1000B
+	sw.Route(1, sp)
+	eng.After(0, func() {
+		for i := 0; i < 4; i++ {
+			sw.Ingress(Packet{TC: 0, Bytes: 1000, Dst: 1})
+		}
+	})
+	eng.Run()
+	if got != 3 {
+		t.Fatalf("delivered %d, want 3 (pool admits one in flight + two queued)", got)
+	}
+	if sw.BufDrops(0) != 1 {
+		t.Fatalf("bufDrops = %d, want 1", sw.BufDrops(0))
+	}
+	if sw.BufUsed() != 0 {
+		t.Fatalf("buffer not drained: %d", sw.BufUsed())
+	}
+}
+
+func TestSwitchTCShareCap(t *testing.T) {
+	// TC1 capped at 25% of a 4000B pool = 1000B; TC0 uncapped. Three 1000B
+	// TC1 packets back-to-back: the first goes to the serializer, the second
+	// occupies the class's whole share, the third must drop even though the
+	// pool has room.
+	eng := sim.NewEngine(1)
+	cfg := SwitchConfig{SharedBufBytes: 4000}
+	cfg.TCShare[1] = 0.25
+	sw := NewSwitch(eng, cfg)
+	var got [NumTCs]int
+	p := sw.AddPort("h", 1, 0, 0, DefaultQoS(), func(pk Packet) { got[pk.TC]++ })
+	sw.Route(1, p)
+	eng.After(0, func() {
+		sw.Ingress(Packet{TC: 1, Bytes: 1000, Dst: 1})
+		sw.Ingress(Packet{TC: 1, Bytes: 1000, Dst: 1})
+		sw.Ingress(Packet{TC: 1, Bytes: 1000, Dst: 1})
+		sw.Ingress(Packet{TC: 0, Bytes: 1000, Dst: 1})
+	})
+	eng.Run()
+	if got[1] != 2 || sw.BufDrops(1) != 1 {
+		t.Fatalf("TC1: delivered %d drops %d, want 2/1", got[1], sw.BufDrops(1))
+	}
+	if got[0] != 1 || sw.BufDrops(0) != 0 {
+		t.Fatalf("TC0: delivered %d drops %d, want 1/0", got[0], sw.BufDrops(0))
+	}
+}
+
+func TestSwitchPFCPauseResume(t *testing.T) {
+	// A slow egress port (1 Gbps) behind a fast uplink: backlog crosses XOFF,
+	// the upstream link must pause that TC, then resume once drained to XON.
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng, SwitchConfig{XOffBytes: 3000, XOnBytes: 1000})
+	var delivered int
+	p := sw.AddPort("h", 1, 0, 0, DefaultQoS(), func(Packet) { delivered++ })
+	up := NewLink(eng, "up", 100, 0, 0, sw.Ingress)
+	upIdx := sw.AddPort("src", 100, 0, 0, DefaultQoS(), nil)
+	sw.SetUpstream(upIdx, up)
+	sw.Route(1, p)
+	eng.After(0, func() {
+		for i := 0; i < 10; i++ {
+			up.Send(Packet{TC: 3, Bytes: 1000, Dst: 1})
+		}
+	})
+	sawPause := false
+	eng.After(2*sim.Microsecond, func() {
+		if up.PausedTC(3) {
+			sawPause = true
+		}
+	})
+	eng.Run()
+	if !sawPause {
+		t.Fatal("upstream link never paused while egress backlog exceeded XOFF")
+	}
+	if sw.PFCPauses(3) == 0 {
+		t.Fatal("PFCPauses counter did not advance")
+	}
+	if delivered != 10 {
+		t.Fatalf("delivered %d, want 10 — pause must not drop packets", delivered)
+	}
+	if up.PausedTC(3) {
+		t.Fatal("pause never released after drain")
+	}
+	if sw.BufUsed() != 0 {
+		t.Fatalf("buffer not drained: %d", sw.BufUsed())
+	}
+}
+
+func TestSwitchPFCRefcountAcrossPorts(t *testing.T) {
+	// Two congested egress ports pausing the same TC: the upstream must stay
+	// paused until BOTH release (refcount semantics).
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng, SwitchConfig{XOffBytes: 2000, XOnBytes: 500})
+	pa := sw.AddPort("a", 1, 0, 0, DefaultQoS(), func(Packet) {})
+	pb := sw.AddPort("b", 2, 0, 0, DefaultQoS(), func(Packet) {})
+	up := NewLink(eng, "up", 100, 0, 0, sw.Ingress)
+	src := sw.AddPort("src", 100, 0, 0, DefaultQoS(), nil)
+	sw.SetUpstream(src, up)
+	sw.Route(1, pa)
+	sw.Route(2, pb)
+	eng.After(0, func() {
+		for i := 0; i < 6; i++ {
+			up.Send(Packet{TC: 0, Bytes: 1000, Dst: 1})
+			up.Send(Packet{TC: 0, Bytes: 1000, Dst: 2})
+		}
+	})
+	// Port b (2 Gbps) drains to XON before port a (1 Gbps). Midway the
+	// upstream must still be paused because port a holds the refcount.
+	stillPaused := false
+	eng.After(30*sim.Microsecond, func() {
+		if sw.PortBacklog(0, 0) > 500 && !up.PausedTC(0) {
+			t.Error("upstream resumed while port a still above XON")
+		}
+		stillPaused = up.PausedTC(0)
+	})
+	eng.Run()
+	if !stillPaused {
+		t.Fatal("expected upstream still paused at 30µs (port a backlog)")
+	}
+	if up.PausedTC(0) {
+		t.Fatal("pause leaked after both ports drained")
+	}
+	if sw.BufUsed() != 0 {
+		t.Fatalf("buffer not drained: %d", sw.BufUsed())
+	}
+}
+
+func TestSwitchZeroFwdDelay(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng, SwitchConfig{})
+	var got []Packet
+	p := sw.AddPort("h", 100, 0, 0, DefaultQoS(), func(pk Packet) { got = append(got, pk) })
+	sw.Route(7, p)
+	eng.After(0, func() { sw.Ingress(Packet{TC: 5, Bytes: 64, Dst: 7, Payload: "y"}) })
+	eng.Run()
+	if len(got) != 1 || got[0].Payload != "y" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLinkPauseResumeDirect(t *testing.T) {
+	// Link-level PFC primitive: a paused TC holds its packets while other
+	// classes flow; resume restarts an idle link.
+	eng := sim.NewEngine(1)
+	var order []int
+	l := NewLink(eng, "l", 100, 0, 0, func(p Packet) { order = append(order, p.TC) })
+	l.PauseTC(3)
+	eng.After(0, func() {
+		l.Send(Packet{TC: 3, Bytes: 100})
+		l.Send(Packet{TC: 1, Bytes: 100})
+	})
+	eng.After(sim.Microsecond, func() { l.ResumeTC(3) })
+	eng.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3] (paused TC3 held until resume)", order)
+	}
+	if l.PausedTC(3) {
+		t.Fatal("PausedTC stuck after resume")
+	}
+	// Resume on a never-paused class is a no-op.
+	l.ResumeTC(0)
+}

@@ -1,7 +1,9 @@
-// Package lab assembles the standard Ragnar experiment topology — one
-// server context shared by several client contexts, per the paper's threat
-// model (Figure 2) — so reverse-engineering benchmarks, covert channels and
-// side-channel attacks all build on identical plumbing.
+// Package lab assembles Ragnar experiment topologies — one server context
+// shared by several client contexts, per the paper's threat model (Figure
+// 2) — so reverse-engineering benchmarks, covert channels and side-channel
+// attacks all build on identical plumbing. The wiring itself is declarative
+// (see Topology in topology.go): Pair keeps the legacy point-to-point
+// shape, Star/DualRail/Build add switched multi-host scenarios.
 package lab
 
 import (
@@ -15,18 +17,10 @@ import (
 	"github.com/thu-has/ragnar/internal/verbs"
 )
 
-// Cluster is a server plus client contexts wired through the fabric.
-type Cluster struct {
-	Eng      *sim.Engine
-	Profile  nic.Profile
-	Server   *verbs.Context
-	ServerPD *verbs.PD
-	Clients  []*verbs.Context
-	// Links lists every fabric link in deterministic build order
-	// (client0->server, server->client0, client1->server, ...), so loss
-	// experiments can install fault plans and read drop counters.
-	Links []*fabric.Link
-}
+// Cluster is the legacy name for a built topology: all pre-switch callers
+// keep compiling, and New still hands them the exact point-to-point shape
+// they were written against.
+type Cluster = Topology
 
 // Config parameterises a cluster.
 type Config struct {
@@ -36,6 +30,9 @@ type Config struct {
 	QoS      fabric.QoSConfig
 	ServerHW host.Config
 	ClientHW host.Config
+	// Switch parameterises the shared switch in switched topologies (Star,
+	// DualRail); the zero value selects DefaultSwitchConfig. Pair ignores it.
+	Switch fabric.SwitchConfig
 }
 
 // DefaultConfig mirrors the paper's setup: H3 serves, H2-class clients,
@@ -51,58 +48,37 @@ func DefaultConfig(p nic.Profile) Config {
 	}
 }
 
-// New builds the cluster.
+// New builds the legacy point-to-point cluster — a thin wrapper over the
+// Pair topology, which replicates the original construction order exactly
+// so existing goldens stay byte-identical.
 func New(cfg Config) *Cluster {
-	if cfg.Clients < 1 {
-		cfg.Clients = 1
-	}
-	if cfg.ServerHW.Name == "" {
-		cfg.ServerHW = host.H3
-	}
-	if cfg.ClientHW.Name == "" {
-		cfg.ClientHW = host.H2
-	}
-	eng := sim.NewEngine(cfg.Seed)
-	// The Grain-III/IV methodology disables DDIO to remove cache-induced
-	// variance; the host default is already DDIO-off.
-	server := verbs.NewContext(eng, "server", cfg.ServerHW, cfg.Profile, 0)
-	c := &Cluster{
-		Eng:      eng,
-		Profile:  cfg.Profile,
-		Server:   server,
-		ServerPD: server.AllocPD(),
-	}
-	net := verbs.NewNetwork(eng)
-	// Same-rack cabling: the paper's hosts sit under one switch.
-	net.PropDelay = 200 * sim.Nanosecond
-	for i := 0; i < cfg.Clients; i++ {
-		cl := verbs.NewContext(eng, fmt.Sprintf("client%d", i), cfg.ClientHW, cfg.Profile, 0)
-		w := net.ConnectContexts(cl, server, cfg.QoS)
-		c.Links = append(c.Links, w.AtoB, w.BtoA)
-		c.Clients = append(c.Clients, cl)
-	}
-	return c
+	return Pair(cfg)
 }
 
 // AttachRecorder wires one flight recorder through the whole rig: the
-// engine, every context (verbs layer + NIC datapath) and every fabric link
-// emit into it. Call it right after New, before any traffic, so actor
-// registration order — and therefore Chrome track order — is deterministic.
-// Recording is passive; traced runs stay byte-identical to untraced ones.
+// engine, every context (verbs layer + NIC datapath), every switch
+// forwarding plane and every fabric link emit into it. Call it right after
+// construction, before any traffic, so actor registration order — and
+// therefore Chrome track order — is deterministic. Recording is passive;
+// traced runs stay byte-identical to untraced ones.
 func (c *Cluster) AttachRecorder(r *trace.Recorder) {
 	c.Eng.SetRecorder(r)
 	c.Server.SetRecorder(r)
 	for _, cl := range c.Clients {
 		cl.SetRecorder(r)
 	}
+	for _, sw := range c.Switches {
+		sw.SetRecorder(r)
+	}
 	for _, l := range c.Links {
 		l.SetRecorder(r)
 	}
 }
 
-// InjectLoss installs a uniform random-drop FaultPlan on every link of the
-// cluster. Each link's RNG stream is derived from seed and the link's index
-// with sim.DeriveSeed, so runs are reproducible and links are decorrelated.
+// InjectLoss installs a uniform random-drop FaultPlan on every link in the
+// topology — host uplinks, switch egress ports and trunks alike. Each
+// link's RNG stream is derived from seed and the link's index with
+// sim.DeriveSeed, so runs are reproducible and links are decorrelated.
 // prob 0 removes any installed plans.
 func (c *Cluster) InjectLoss(seed int64, prob float64) {
 	for i, l := range c.Links {

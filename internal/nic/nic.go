@@ -273,6 +273,13 @@ type NIC struct {
 	Tap func(at sim.Time, frame []byte)
 	ip  [4]byte
 
+	// addr is the fabric-level address stamped into every departing packet's
+	// Dst field. verbs.Network assigns it (a bare counter, no RNG) when the
+	// NIC first joins a topology; switches use it for forwarding-table
+	// lookups. Direct point-to-point links ignore it entirely, so legacy
+	// two-host rigs behave identically whether or not an address was set.
+	addr uint32
+
 	// Flight recorder (nil = tracing off; every emit site is a nil check).
 	rec      *trace.Recorder
 	arbActor uint16 // egress arbiter lane
@@ -397,10 +404,23 @@ func (n *NIC) TPU() *TPU { return n.tpu }
 
 // Counters returns a snapshot view of the NIC counters. Per-TC wire-drop
 // counts are refreshed from the egress links (summing is order-independent,
-// so map iteration stays deterministic).
+// so map iteration stays deterministic). Switched topologies map several
+// peers to one shared uplink, so each distinct link is counted once.
 func (n *NIC) Counters() *Counters {
 	var drops [8]uint64
+	var uniq []*fabric.Link
 	for _, l := range n.links {
+		dup := false
+		for _, u := range uniq {
+			if u == l {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		uniq = append(uniq, l)
 		for tc := 0; tc < fabric.NumTCs; tc++ {
 			drops[tc] += l.Drops(tc) + l.FaultDrops(tc)
 		}
@@ -410,8 +430,15 @@ func (n *NIC) Counters() *Counters {
 }
 
 // AddPeerLink attaches the transmit link toward a peer NIC. The verbs layer
-// calls this when wiring a topology.
+// calls this when wiring a topology. In switched topologies several peers
+// share one physical uplink — the map simply stores the same *Link for each.
 func (n *NIC) AddPeerLink(peer *NIC, l *fabric.Link) { n.links[peer] = l }
+
+// SetAddr installs the NIC's fabric-level address (see the addr field).
+func (n *NIC) SetAddr(a uint32) { n.addr = a }
+
+// Addr returns the fabric-level address (0 until the NIC joins a topology).
+func (n *NIC) Addr() uint32 { return n.addr }
 
 // CreateQP registers a queue pair. onComplete receives requester
 // completions; onRecv receives inbound SEND deliveries (may be nil).
@@ -621,7 +648,7 @@ func (n *NIC) transmit(dst *NIC, m *Message, ring int) {
 		}
 		env := n.getEnv()
 		env.dst, env.msg, env.frames = dst, m, frames
-		if err := link.Send(fabric.Packet{TC: m.TC, Bytes: bytes, Payload: env}); err != nil {
+		if err := link.Send(fabric.Packet{TC: m.TC, Bytes: bytes, Dst: dst.addr, Payload: env}); err != nil {
 			// Tail drop at the egress queue: the packet never reaches the
 			// wire. The RC transport recovers it — a lost request draws a
 			// NAK-seq or a retransmit timeout, a lost response a duplicate

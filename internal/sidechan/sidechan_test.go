@@ -5,6 +5,7 @@ import (
 
 	"github.com/thu-has/ragnar/internal/appdb"
 	"github.com/thu-has/ragnar/internal/classifier"
+	"github.com/thu-has/ragnar/internal/lab"
 	"github.com/thu-has/ragnar/internal/nic"
 	"github.com/thu-has/ragnar/internal/sim"
 	"github.com/thu-has/ragnar/internal/stats"
@@ -228,5 +229,50 @@ func TestDetectorDistinguishesThreePatterns(t *testing.T) {
 	res = Fingerprint(cfg, det, join, last.Start+last.Dur+150*sim.Millisecond)
 	if res.Detected != PatternJoin {
 		t.Errorf("hash join -> %v", res.Detected)
+	}
+}
+
+// TestSnoopOnStarRevealsVictimBank repeats the bank-leak check with the
+// victim, attacker and background tenant on separate ports of a shared
+// switch (NewSnooperOn + lab.Star): the side channel is a property of the
+// server RNIC, so moving the rig behind a switch must not hide it.
+func TestSnoopOnStarRevealsVictimBank(t *testing.T) {
+	cfg := DefaultSnoopConfig(nic.CX4)
+	cfg.Background = false
+	cfg.ProbesPerOffset = 8
+	cfg.Observation = nil
+	for off := uint64(0); off <= 1024; off += 16 {
+		cfg.Observation = append(cfg.Observation, off)
+	}
+	lcfg := lab.DefaultConfig(cfg.Profile)
+	lcfg.Seed = cfg.Seed
+	lcfg.Clients = 3
+	s, err := NewSnooperOn(lab.Star(lcfg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victimOff = 320
+	trace, err := s.CaptureTrace(victimOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := uint64(nic.CX4.TPUBanks)
+	var same, other []float64
+	for i, off := range cfg.Observation {
+		if (off/64)%banks == (victimOff/64)%banks {
+			same = append(same, trace[i])
+		} else {
+			other = append(other, trace[i])
+		}
+	}
+	if stats.Mean(same) <= stats.Mean(other) {
+		t.Fatalf("victim bank not visible through the switch: same %.1f other %.1f",
+			stats.Mean(same), stats.Mean(other))
+	}
+	if s.Cluster().Switches[0].FwdPackets() == 0 {
+		t.Fatal("no packets traversed the switch")
+	}
+	if _, err := NewSnooperOn(lab.Pair(lab.DefaultConfig(cfg.Profile)), cfg); err == nil {
+		t.Fatal("2-client topology should be rejected")
 	}
 }

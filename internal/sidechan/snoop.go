@@ -69,16 +69,25 @@ type Snooper struct {
 	noise    *lab.Conn
 }
 
-// NewSnooper builds the rig. The shared MR models the paper's 1 KiB shared
-// file (plus headroom) in the memory server.
+// NewSnooper builds the rig on a fresh point-to-point cluster. The shared MR
+// models the paper's 1 KiB shared file (plus headroom) in the memory server.
 func NewSnooper(cfg SnoopConfig) (*Snooper, error) {
-	if len(cfg.Candidates) == 0 || len(cfg.Observation) == 0 {
-		return nil, errors.New("sidechan: empty candidate or observation set")
-	}
 	lcfg := lab.DefaultConfig(cfg.Profile)
 	lcfg.Seed = cfg.Seed
 	lcfg.Clients = 3
-	c := lab.New(lcfg)
+	return NewSnooperOn(lab.Pair(lcfg), cfg)
+}
+
+// NewSnooperOn builds the rig on an already-built topology: client 0 is the
+// victim, client 1 the attacker, client 2 the background tenant. Switched
+// topologies (lab.Star et al.) reuse the identical capture pipeline.
+func NewSnooperOn(c *lab.Cluster, cfg SnoopConfig) (*Snooper, error) {
+	if len(cfg.Candidates) == 0 || len(cfg.Observation) == 0 {
+		return nil, errors.New("sidechan: empty candidate or observation set")
+	}
+	if len(c.Clients) < 3 {
+		return nil, fmt.Errorf("sidechan: topology has %d clients, need 3", len(c.Clients))
+	}
 	mr, err := c.RegisterServerMR(2 << 20)
 	if err != nil {
 		return nil, err

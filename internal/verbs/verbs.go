@@ -340,11 +340,18 @@ func (qp *QP) PostRecv(buf []byte) error {
 	return qp.ctx.dev.PostRecv(qp.qpn, buf)
 }
 
-// Network wires contexts together with full-duplex links.
+// Network wires contexts together with full-duplex links, and owns the
+// fabric address space: every context that joins a topology (directly or
+// through a switch) gets a unique address stamped into its NIC, which
+// switches use for destination forwarding. Assignment is a bare counter —
+// no RNG — so wiring order alone determines addresses and sweeps stay
+// deterministic.
 type Network struct {
 	eng *sim.Engine
 	// PropDelay is the one-way propagation delay applied to new links.
 	PropDelay sim.Duration
+
+	nextAddr uint32
 }
 
 // NewNetwork creates a network builder. Default propagation delay is a
@@ -368,7 +375,58 @@ func (n *Network) ConnectContexts(a, b *Context, qos fabric.QoSConfig) *fabric.W
 	ba.SetQoS(qos)
 	a.dev.AddPeerLink(b.dev, ab)
 	b.dev.AddPeerLink(a.dev, ba)
+	// Direct links ignore addresses, but assign them anyway so a context
+	// wired point-to-point can later also hang off a switch.
+	n.Addr(a)
+	n.Addr(b)
 	return &fabric.Wire{AtoB: ab, BtoA: ba}
+}
+
+// Addr returns the fabric address of a context's NIC, assigning the next
+// free one on first use.
+func (n *Network) Addr(c *Context) uint32 {
+	if c.dev.Addr() == 0 {
+		n.nextAddr++
+		c.dev.SetAddr(n.nextAddr)
+	}
+	return c.dev.Addr()
+}
+
+// AttachToSwitch hangs a context off a switch port: a new egress port on the
+// switch clocking at the NIC's line rate delivers to the NIC, an uplink from
+// the NIC feeds the switch's ingress (and is the PFC pause target), and the
+// switch learns a route for the context's address. It returns the port index
+// and the uplink. Reachability is separate — callers make peers visible to
+// each other with SetPath once both are attached.
+func (n *Network) AttachToSwitch(c *Context, sw *fabric.Switch, qos fabric.QoSConfig) (port int, up *fabric.Link) {
+	rate := c.dev.Profile().LineRateGbps
+	port = sw.AddPort(c.Name, rate, n.PropDelay, 0, qos, nic.Deliver)
+	up = fabric.NewLink(n.eng, c.Name+"->"+sw.Name(), rate, n.PropDelay, 0, sw.Ingress)
+	up.SetQoS(qos)
+	sw.SetUpstream(port, up)
+	sw.Route(n.Addr(c), port)
+	return port, up
+}
+
+// SetPath makes dst reachable from src through the given first-hop link
+// (typically src's switch uplink). One physical uplink serves any number of
+// destinations.
+func (n *Network) SetPath(src, dst *Context, firstHop *fabric.Link) {
+	n.Addr(dst) // ensure the destination is addressable before traffic flows
+	src.dev.AddPeerLink(dst.dev, firstHop)
+}
+
+// ConnectSwitches trunks two switches with a full-duplex pair of ports at
+// the given rate. Each switch's trunk port names the other switch's egress
+// link as its upstream, so PFC pause propagates across the trunk. Routing
+// across the trunk is the topology builder's job (Route entries per address).
+// It returns the port index of the trunk on each switch (a's, then b's).
+func (n *Network) ConnectSwitches(a, b *fabric.Switch, rateGbps float64, qos fabric.QoSConfig) (int, int) {
+	pa := a.AddPort("trunk:"+b.Name(), rateGbps, n.PropDelay, 0, qos, b.Ingress)
+	pb := b.AddPort("trunk:"+a.Name(), rateGbps, n.PropDelay, 0, qos, a.Ingress)
+	a.SetUpstream(pa, b.EgressLink(pb))
+	b.SetUpstream(pb, a.EgressLink(pa))
+	return pa, pb
 }
 
 // Connect establishes a reliable connection between two QPs whose contexts

@@ -147,6 +147,17 @@ func DefaultClusterConfig(p Profile) ClusterConfig { return lab.DefaultConfig(p)
 // NewCluster builds the topology.
 func NewCluster(cfg ClusterConfig) *Cluster { return lab.New(cfg) }
 
+// Topology is a built rig of any shape (Cluster is its legacy alias); the
+// builders below add switched multi-host scenarios to the classic pair.
+type Topology = lab.Topology
+
+// NewStar puts the server and cfg.Clients hosts behind one shared-buffer
+// switch with PFC — the multi-tenant threat model.
+func NewStar(cfg ClusterConfig) *Topology { return lab.Star(cfg) }
+
+// NewDualRail dual-homes the server across two switches, clients alternating.
+func NewDualRail(cfg ClusterConfig) *Topology { return lab.DualRail(cfg) }
+
 // ---------------------------------------------------------------------------
 // ULI measurement (Section IV-C)
 // ---------------------------------------------------------------------------
