@@ -44,8 +44,8 @@ bench:
 # The hot paths the zero-alloc refactor bought must stay allocation-free:
 # run the guarded benchmarks with -benchmem and gate on allocs/op == 0.
 benchguard:
-	$(GO) test -run '^$$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward)' \
-		-benchtime 1000x -benchmem ./internal/sim ./internal/trace ./internal/fabric \
+	$(GO) test -run '^$$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward|BenchmarkContextCacheHit)' \
+		-benchtime 1000x -benchmem ./internal/sim ./internal/trace ./internal/fabric ./internal/nic \
 		| $(GO) run ./scripts/benchguard.go
 
 perf:

@@ -5,7 +5,7 @@
 //	ragnar [-nic cx4|cx5|cx6] [-full] [-seed N] <experiment> [...]
 //
 // Experiments: table1 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table5 lossgrid tenants pythia fig12 fig13 defense all
+// table5 lossgrid tenants exhaust pythia fig12 fig13 defense all
 //
 // The trace subcommand re-runs an experiment rig with the flight recorder
 // attached and exports the event stream:
@@ -36,7 +36,7 @@ func main() {
 	emitJSON = *jsonOut
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|tenants|pythia|fig12|fig13|defense|all>")
+		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|tenants|exhaust|pythia|fig12|fig13|defense|all>")
 		fmt.Fprintln(os.Stderr, "       ragnar [flags] trace [-o out.json] [-text] <fig9|intermr|intramr|lossgrid>")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -56,7 +56,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "table5", "lossgrid", "tenants", "pythia", "fig12", "fig13", "defense"}
+			"fig9", "fig10", "fig11", "table5", "lossgrid", "tenants", "exhaust", "pythia", "fig12", "fig13", "defense"}
 	}
 	for _, exp := range args {
 		if err := run(exp, prof, *full, *seed, *perClass, *workers); err != nil {
@@ -166,6 +166,16 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers 
 			return err
 		}
 		return emit(r, r.Render)
+	case "exhaust":
+		victims := 3
+		if full {
+			victims = 6
+		}
+		r, err := experiments.Exhaust(prof, victims, seed, workers)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
 	case "pythia":
 		r, err := experiments.PythiaCompare(64, seed)
 		if err != nil {
@@ -191,7 +201,7 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers 
 		}
 		return emit(r, r.Render)
 	default:
-		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 lossgrid tenants pythia defense)")
+		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 lossgrid tenants exhaust pythia defense)")
 	}
 	return nil
 }

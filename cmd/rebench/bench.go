@@ -20,7 +20,7 @@ import (
 // The bench subcommand is the repo's machine-readable perf baseline: it runs
 // the hot-path benchmarks through testing.Benchmark and emits one JSON
 // document per run, designed to be checked in as BENCH_<date>.json (see
-// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Five probes:
+// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Six probes:
 //
 //   - engine-schedule-fire: raw scheduler cost, one self-rescheduling event
 //     (the same steady-state pattern the bench-guard CI job gates at
@@ -29,6 +29,8 @@ import (
 //     path — ingress lookup, shared-buffer admission, forwarding pipe,
 //     egress ETS scheduling, serialization and propagation (the
 //     BenchmarkSwitchForward pattern, also gated at 0 allocs/op);
+//   - context-cache-hit: resident ICM context lookup on the NIC datapath
+//     (the BenchmarkContextCacheHit pattern, also gated at 0 allocs/op);
 //   - channel-inter-mr / channel-intra-mr: full covert-channel transmits —
 //     NIC + fabric + transport — with simulated events/sec derived from the
 //     engine's fired-event counter;
@@ -132,6 +134,25 @@ func benchCmd(prof nic.Profile, seed int64, args []string) error {
 		swFired = e.Fired()
 	})
 	doc.Benchmarks = append(doc.Benchmarks, record("switch-forward", r, swFired/uint64(r.N)))
+
+	// ICM context-cache hit path: one resident lookup per op against a
+	// CX5-sized cache, with a working set large enough to splice non-head
+	// LRU nodes. Pure data-structure probe — no engine, so no events/sec.
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		c := nic.NewContextCache(2048)
+		const keys = 512
+		for i := uint32(0); i < keys; i++ {
+			c.Access(nic.QPCtxKey(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !c.Access(nic.QPCtxKey(uint32(i) % keys)) {
+				b.Fatal("hit path missed")
+			}
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("context-cache-hit", r, 0))
 
 	payload := bitstream.RandomBits(7, 64)
 	for _, ch := range []struct {

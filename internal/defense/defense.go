@@ -58,6 +58,19 @@ func features(d Snapshot) map[string]float64 {
 	if d.RxCorrupt > 0 {
 		f["rx_corrupt"] = float64(d.RxCorrupt)
 	}
+	// Finite-resource (exhaustion) observables, again gated on non-zero so
+	// pre-exhaustion traces score exactly as before. These are the markers
+	// that separate resource exhaustion from plain bandwidth contention: a
+	// merely contended NIC keeps its contexts resident and its CQs drained.
+	if d.CtxMisses > 0 {
+		f["ctx_miss"] = float64(d.CtxMisses)
+	}
+	if d.CtxEvictions > 0 {
+		f["ctx_evict"] = float64(d.CtxEvictions)
+	}
+	if d.CQOverruns > 0 {
+		f["cq_overrun"] = float64(d.CQOverruns)
+	}
 	for k, v := range d.PerOpcode {
 		f["op/"+k.String()] = float64(v)
 	}

@@ -20,9 +20,16 @@ import (
 // the backlog drains below XON. That is the congestion-spreading behaviour
 // real shared-buffer switches exhibit under PRIO pause (and the mechanism
 // NeVerMore exploits for cross-tenant interference): one hot output port
-// stalls innocent flows that merely share a priority with it. Egress links
-// themselves are never paused by this switch, so in any acyclic topology
-// queues always drain and pauses always release — PFC cannot deadlock.
+// stalls innocent flows that merely share a priority with it.
+//
+// Backlog-driven pauses cannot deadlock an acyclic topology: egress links
+// are only paused by PortPause (never by the XOFF logic), so XOFF'd queues
+// always drain and release. PortPause models the one way a malicious *end
+// host* can pause an egress link — forged PRIO pause frames sent to its own
+// switch port. That path would deadlock trivially (pause with an empty
+// queue → nothing ever drains → no XON) if pauses were level-triggered, so,
+// exactly like real 802.1Qbb, every pause carries a quantum and expires on
+// its own: liveness never depends on the attacker's cooperation.
 //
 // The forwarding hot path is allocation-free in steady state (ring-buffer
 // pending queue, pre-bound timer callback, slice forwarding table); the
@@ -50,7 +57,16 @@ type SwitchConfig struct {
 	// XOnBytes releases the pause once the backlog drains to it (default
 	// XOffBytes/2).
 	XOnBytes int
+	// PauseQuanta bounds how long one PortPause call (a received PRIO
+	// pause frame) stops a port's egress. Defaults to DefaultPauseQuanta.
+	PauseQuanta sim.Duration
 }
+
+// DefaultPauseQuanta is the longest pause one 802.1Qbb frame can request:
+// 65535 quanta of 512 bit-times, ≈335µs at 100Gbps. An attacker sustaining
+// a pause must keep refreshing frames, which is exactly what the pause-abuse
+// duty-cycle knob in the exhaust experiment models.
+const DefaultPauseQuanta = 335 * sim.Microsecond
 
 // swPort is one switch port: an egress Link toward the attached device plus
 // the upstream link feeding the switch from that device (the PFC pause
@@ -61,6 +77,11 @@ type swPort struct {
 	upstream *Link
 	queuedTC [NumTCs]int // bytes backlogged at this port's egress, per TC
 	pausedTC [NumTCs]bool
+	// Pause frames received *from* the attached device (PortPause): while
+	// set, this port's egress link is paused for the class. rxPauseEnd is
+	// the quanta expiry; refreshing frames push it forward.
+	rxPaused   [NumTCs]bool
+	rxPauseEnd [NumTCs]sim.Time
 }
 
 // swPending is one packet in the forwarding pipeline (FwdDelay latency).
@@ -104,6 +125,7 @@ type Switch struct {
 	unroutable uint64
 	bufDrops   [NumTCs]uint64
 	pfcPauses  [NumTCs]uint64
+	rxPauses   [NumTCs]uint64 // pause frames received from attached devices
 
 	rec      *trace.Recorder
 	recActor uint16
@@ -116,6 +138,9 @@ func NewSwitch(eng *sim.Engine, cfg SwitchConfig) *Switch {
 	}
 	if cfg.XOffBytes > 0 && cfg.XOnBytes <= 0 {
 		cfg.XOnBytes = cfg.XOffBytes / 2
+	}
+	if cfg.PauseQuanta <= 0 {
+		cfg.PauseQuanta = DefaultPauseQuanta
 	}
 	s := &Switch{eng: eng, cfg: cfg}
 	s.deliverFn = s.deliverDue
@@ -311,6 +336,51 @@ func (s *Switch) release(port, tc, bytes int) {
 		}
 	}
 }
+
+// PortPause models the switch receiving a PRIO pause frame for tc from the
+// device attached at port: the port's egress link stops transmitting that
+// class. The pause expires after PauseQuanta unless refreshed — a malicious
+// host can therefore stall the port only while actively spraying frames,
+// never forever. While paused, backlog accumulating at this port can cross
+// XOFF and pause every *upstream* port through the usual refcount plumbing:
+// that is the congestion-tree amplification a pause-abuse aggressor buys.
+func (s *Switch) PortPause(port, tc int) {
+	p := s.ports[port]
+	s.rxPauses[tc]++
+	end := s.eng.Now().Add(s.cfg.PauseQuanta)
+	p.rxPauseEnd[tc] = end
+	if !p.rxPaused[tc] {
+		p.rxPaused[tc] = true
+		p.egress.PauseTC(tc)
+		s.rec.Emit(trace.Event{At: int64(s.eng.Now()), Kind: trace.KindPFCPause,
+			Actor: s.recActor, TC: int8(tc & 7), Val: uint64(port), Aux: 1})
+	}
+	s.eng.At(end, func() {
+		if p.rxPaused[tc] && s.eng.Now() >= p.rxPauseEnd[tc] {
+			s.PortResume(port, tc)
+		}
+	})
+}
+
+// PortResume models the pause clearing (a zero-quanta frame, or quanta
+// expiry): the port's egress link resumes the class and drains.
+func (s *Switch) PortResume(port, tc int) {
+	p := s.ports[port]
+	if !p.rxPaused[tc] {
+		return
+	}
+	p.rxPaused[tc] = false
+	p.egress.ResumeTC(tc)
+	s.rec.Emit(trace.Event{At: int64(s.eng.Now()), Kind: trace.KindPFCPause,
+		Actor: s.recActor, TC: int8(tc & 7), Val: uint64(port), Aux: 0})
+}
+
+// RxPauses reports pause frames received from attached devices for one TC.
+func (s *Switch) RxPauses(tc int) uint64 { return s.rxPauses[tc] }
+
+// PortPaused reports whether a received pause currently stops port's egress
+// for tc.
+func (s *Switch) PortPaused(port, tc int) bool { return s.ports[port].rxPaused[tc] }
 
 // FwdPackets reports packets admitted into the forwarding pipeline.
 func (s *Switch) FwdPackets() uint64 { return s.fwdPackets }

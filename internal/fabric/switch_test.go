@@ -263,3 +263,107 @@ func TestLinkPauseResumeDirect(t *testing.T) {
 	// Resume on a never-paused class is a no-op.
 	l.ResumeTC(0)
 }
+
+// A malicious host XOFF-ing its own port while never sending data (pause
+// abuse on empty queues) must not deadlock an acyclic topology: the pause
+// carries a quantum and expires on its own, after which queued traffic
+// drains and the engine goes idle. Before pause quanta existed this exact
+// sequence would have wedged the port forever.
+func TestPortPauseEmptyQueueCannotDeadlock(t *testing.T) {
+	r := newTwoPortRig(t, SwitchConfig{FwdDelay: 300 * sim.Nanosecond,
+		PauseQuanta: 10 * sim.Microsecond})
+	// The aggressor pauses port 1 with nothing queued anywhere.
+	r.eng.After(0, func() { r.sw.PortPause(1, 2) })
+	// A victim packet for port 1 arrives while the pause holds.
+	r.eng.After(1*sim.Microsecond, func() {
+		if err := r.up.Send(Packet{TC: 2, Bytes: 1250, Dst: 1, Payload: "victim"}); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	r.eng.Run()
+	if len(r.got1) != 1 {
+		t.Fatalf("victim packet never delivered: got %d packets (deadlock)", len(r.got1))
+	}
+	if r.sw.PortPaused(1, 2) {
+		t.Fatal("pause never expired")
+	}
+	// Delivery waited for the quanta to lapse, not a byte-threshold XON
+	// that empty queues can never reach.
+	if now := r.eng.Now(); now < sim.Time(10*sim.Microsecond) {
+		t.Fatalf("delivered at %v, before the pause quanta expired", now)
+	}
+	if r.sw.RxPauses(2) != 1 {
+		t.Fatalf("RxPauses = %d, want 1", r.sw.RxPauses(2))
+	}
+}
+
+// Refreshing pause frames extend the stall; once the aggressor stops, the
+// last quantum runs out and everything drains.
+func TestPortPauseRefreshExtendsThenExpires(t *testing.T) {
+	const q = 10 * sim.Microsecond
+	r := newTwoPortRig(t, SwitchConfig{PauseQuanta: q})
+	r.eng.After(0, func() {
+		r.up.Send(Packet{TC: 1, Bytes: 1250, Dst: 1, Payload: "p"})
+	})
+	// Three refreshes 5µs apart: pause holds until 10µs after the last one.
+	for i := 0; i < 3; i++ {
+		d := sim.Duration(i) * 5 * sim.Microsecond
+		r.eng.After(d, func() { r.sw.PortPause(1, 1) })
+	}
+	r.eng.Run()
+	if len(r.got1) != 1 {
+		t.Fatalf("packet never delivered after pauses expired: %v", r.got1)
+	}
+	// Last refresh at 10µs holds until 20µs; the earlier expiry timers at
+	// 10µs and 15µs must not release it early.
+	if now := r.eng.Now(); now < sim.Time(20*sim.Microsecond) {
+		t.Fatalf("delivered at %v, want after the refreshed quanta (20µs)", now)
+	}
+	if r.sw.RxPauses(1) != 3 {
+		t.Fatalf("RxPauses = %d, want 3", r.sw.RxPauses(1))
+	}
+}
+
+// PortResume (a zero-quanta frame) releases the pause immediately.
+func TestPortResumeReleasesEarly(t *testing.T) {
+	r := newTwoPortRig(t, SwitchConfig{})
+	r.eng.After(0, func() {
+		r.sw.PortPause(1, 3)
+		r.up.Send(Packet{TC: 3, Bytes: 1250, Dst: 1, Payload: "p"})
+	})
+	r.eng.After(2*sim.Microsecond, func() { r.sw.PortResume(1, 3) })
+	// Well before the 335µs default quanta would have expired.
+	var deliveredEarly bool
+	r.eng.After(5*sim.Microsecond, func() { deliveredEarly = len(r.got1) == 1 })
+	r.eng.Run()
+	if !deliveredEarly {
+		t.Fatalf("resume did not release the port early: %v", r.got1)
+	}
+}
+
+// Pause abuse amplifies: backlog piling up behind a PortPaused egress
+// crosses XOFF and pauses *upstream* ports — the congestion tree an
+// aggressor grows without ever being the bandwidth bottleneck itself.
+func TestPortPausePropagatesCongestionUpstream(t *testing.T) {
+	r := newTwoPortRig(t, SwitchConfig{
+		XOffBytes: 4000, PauseQuanta: 50 * sim.Microsecond})
+	r.eng.After(0, func() { r.sw.PortPause(1, 0) })
+	for i := 0; i < 6; i++ {
+		i := i
+		r.eng.After(sim.Duration(i)*200*sim.Nanosecond, func() {
+			r.up.Send(Packet{TC: 0, Bytes: 1250, Dst: 1, Payload: i})
+		})
+	}
+	var sawUpstreamPause bool
+	r.eng.After(5*sim.Microsecond, func() { sawUpstreamPause = r.up.PausedTC(0) })
+	r.eng.Run()
+	if !sawUpstreamPause {
+		t.Fatal("backlog behind the paused port never paused the upstream link")
+	}
+	if len(r.got1) != 6 {
+		t.Fatalf("delivered %d packets after expiry, want 6", len(r.got1))
+	}
+	if r.sw.PFCPauses(0) == 0 {
+		t.Fatal("XOFF never asserted")
+	}
+}

@@ -109,13 +109,21 @@ type Conn struct {
 // ServerQP returns the server-side endpoint of the connection.
 func (cn *Conn) ServerQP() *verbs.QP { return cn.server }
 
-// Dial connects client i to the server with the given send-queue depth.
+// Dial connects client i to the server with the given send-queue depth and
+// the default (effectively unbounded) CQ capacity.
 func (c *Cluster) Dial(client int, sqDepth int) (*Conn, error) {
+	return c.DialCQ(client, sqDepth, 0)
+}
+
+// DialCQ is Dial with an explicit client-side CQ capacity (0 selects the
+// default). Exhaustion experiments use small capacities to model victims
+// whose completion rings an aggressor can overrun.
+func (c *Cluster) DialCQ(client, sqDepth, cqCap int) (*Conn, error) {
 	if client < 0 || client >= len(c.Clients) {
 		return nil, fmt.Errorf("lab: client %d out of range", client)
 	}
 	cl := c.Clients[client]
-	cq := cl.CreateCQ(0)
+	cq := cl.CreateCQ(cqCap)
 	qp, err := cl.CreateQP(cl.AllocPD(), cq, verbs.QPCap{MaxSendWR: sqDepth})
 	if err != nil {
 		return nil, err

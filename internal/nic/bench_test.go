@@ -1,0 +1,26 @@
+package nic
+
+import "testing"
+
+// BenchmarkContextCacheHit is the CI-guarded ICM context-cache hit path: a
+// resident context lookup is one map probe plus an intrusive-list splice,
+// executed on the NIC datapath for every request (and, under priced
+// profiles, for every MR access). It must stay allocation-free —
+// scripts/benchguard.go fails the bench-guard job if allocs/op > 0, same
+// gate as the engine, disabled-trace and switch forwarding paths.
+func BenchmarkContextCacheHit(b *testing.B) {
+	c := NewContextCache(2048)
+	// Prime a working set that fits: every access below is a hit, with
+	// enough keys that the LRU splice exercises non-head nodes too.
+	const keys = 512
+	for i := uint32(0); i < keys; i++ {
+		c.Access(QPCtxKey(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Access(QPCtxKey(uint32(i) % keys)) {
+			b.Fatal("hit path missed")
+		}
+	}
+}

@@ -136,3 +136,99 @@ func TestProfilesOrdering(t *testing.T) {
 		t.Fatal("complex capacity should grow with generation")
 	}
 }
+
+func TestContextCacheLRUOrder(t *testing.T) {
+	c := NewContextCache(3)
+	for _, k := range []uint64{1, 2, 3} {
+		if c.Access(k) {
+			t.Fatalf("first access to %d hit", k)
+		}
+	}
+	c.Access(1)  // 1 becomes MRU: order 1,3,2
+	c.Access(42) // evicts 2 (LRU): order 42,1,3
+	want := []uint64{42, 1, 3}
+	got := c.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 1 || misses != 4 || evictions != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/4/1", hits, misses, evictions)
+	}
+	if c.Len() != 3 || c.Cap() != 3 {
+		t.Fatalf("Len/Cap = %d/%d", c.Len(), c.Cap())
+	}
+}
+
+func TestContextCacheExplicitEvictNotCounted(t *testing.T) {
+	c := NewContextCache(2)
+	c.Access(7)
+	c.Access(8)
+	if !c.Evict(7) {
+		t.Fatal("evict of resident key failed")
+	}
+	if c.Evict(7) {
+		t.Fatal("evict of absent key reported true")
+	}
+	// The freed slot is reused before any capacity eviction happens.
+	c.Access(9)
+	if _, _, evictions := c.Stats(); evictions != 0 {
+		t.Fatalf("explicit evict counted as capacity eviction (%d)", evictions)
+	}
+	if !c.Contains(8) || !c.Contains(9) || c.Contains(7) {
+		t.Fatalf("residency wrong after evict+reuse: %v", c.Keys())
+	}
+}
+
+func TestContextCacheFlushPreservesCounters(t *testing.T) {
+	c := NewContextCache(4)
+	for k := uint64(0); k < 6; k++ {
+		c.Access(k)
+	}
+	hits0, misses0, ev0 := c.Stats()
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Len after flush = %d", c.Len())
+	}
+	hits1, misses1, ev1 := c.Stats()
+	if hits0 != hits1 || misses0 != misses1 || ev0 != ev1 {
+		t.Fatal("flush perturbed counters")
+	}
+	// The cache must stay usable at full capacity after a flush.
+	for k := uint64(10); k < 14; k++ {
+		c.Access(k)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len after refill = %d", c.Len())
+	}
+}
+
+func TestContextCacheKeySpaces(t *testing.T) {
+	// The same 32-bit id names distinct QP and MR contexts.
+	c := NewContextCache(8)
+	c.Access(QPCtxKey(5))
+	if c.Access(MRCtxKey(5)) {
+		t.Fatal("MR context aliased the QP context with the same id")
+	}
+	if !c.Access(QPCtxKey(5)) || !c.Access(MRCtxKey(5)) {
+		t.Fatal("contexts not independently resident")
+	}
+}
+
+func TestContextCacheBadCapacityPanics(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d should panic", n)
+				}
+			}()
+			NewContextCache(n)
+		}()
+	}
+}

@@ -143,3 +143,105 @@ func FuzzPSNWindow(f *testing.F) {
 		}
 	})
 }
+
+// FuzzContextCache fuzzes the ICM context cache against a reference model:
+// a brute-force map plus an MRU-ordered slice. Random Access/Evict/Flush
+// sequences over a fuzzer-chosen capacity must preserve the invariants the
+// exhaustion model leans on:
+//
+//   - resident entries never exceed capacity;
+//   - hits + misses == lookups, exactly one of the two per Access;
+//   - the eviction order is LRU (the model predicts every hit/miss, so a
+//     miss is charged exactly one fetch penalty per fault, never more);
+//   - Keys() reports exactly the model's residents in MRU→LRU order.
+func FuzzContextCache(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 2, 3, 0, 1, 4, 5, 6, 7})
+	f.Add(uint8(1), []byte{9, 9, 8, 9, 8, 8})
+	f.Add(uint8(3), []byte{0x40, 1, 0x41, 2, 0x80, 3, 0xC0, 0})
+	f.Add(uint8(16), []byte{250, 251, 252, 253, 254, 255, 250, 128, 0})
+	f.Fuzz(func(t *testing.T, capRaw uint8, ops []byte) {
+		capacity := 1 + int(capRaw%32)
+		c := NewContextCache(capacity)
+
+		// Reference model: MRU-first ordered slice of keys.
+		var model []uint64
+		find := func(key uint64) int {
+			for i, k := range model {
+				if k == key {
+					return i
+				}
+			}
+			return -1
+		}
+		var lookups, wantHits, wantMisses, wantEvicts uint64
+
+		for _, op := range ops {
+			key := uint64(op & 0x3f)
+			switch op >> 6 {
+			case 0, 1: // Access (half the opcode space: the common op)
+				lookups++
+				i := find(key)
+				if i >= 0 {
+					wantHits++
+					model = append(model[:i], model[i+1:]...)
+					model = append([]uint64{key}, model...)
+					if !c.Access(key) {
+						t.Fatalf("Access(%d) missed; model says resident", key)
+					}
+				} else {
+					wantMisses++
+					if len(model) == capacity {
+						wantEvicts++
+						model = model[:len(model)-1] // LRU = tail
+					}
+					model = append([]uint64{key}, model...)
+					if c.Access(key) {
+						t.Fatalf("Access(%d) hit; model says absent", key)
+					}
+				}
+			case 2: // Evict
+				i := find(key)
+				if got := c.Evict(key); got != (i >= 0) {
+					t.Fatalf("Evict(%d) = %v; model says %v", key, got, i >= 0)
+				}
+				if i >= 0 {
+					model = append(model[:i], model[i+1:]...)
+				}
+			case 3: // Flush (rare)
+				if key%8 == 0 {
+					c.Flush()
+					model = nil
+				} else if got := c.Contains(key); got != (find(key) >= 0) {
+					t.Fatalf("Contains(%d) = %v; model disagrees", key, got)
+				}
+			}
+
+			if c.Len() != len(model) {
+				t.Fatalf("Len = %d, model has %d", c.Len(), len(model))
+			}
+			if c.Len() > capacity {
+				t.Fatalf("residents %d exceed capacity %d", c.Len(), capacity)
+			}
+		}
+
+		hits, misses, evicts := c.Stats()
+		if hits != wantHits || misses != wantMisses {
+			t.Fatalf("stats hits=%d misses=%d, model %d/%d", hits, misses, wantHits, wantMisses)
+		}
+		if hits+misses != lookups {
+			t.Fatalf("hits+misses = %d, lookups = %d", hits+misses, lookups)
+		}
+		if evicts != wantEvicts {
+			t.Fatalf("evictions = %d, model %d (explicit Evict must not count)", evicts, wantEvicts)
+		}
+		keys := c.Keys()
+		if len(keys) != len(model) {
+			t.Fatalf("Keys len = %d, model %d", len(keys), len(model))
+		}
+		for i, k := range keys {
+			if k != model[i] {
+				t.Fatalf("Keys[%d] = %d, model (MRU order) has %d", i, k, model[i])
+			}
+		}
+	})
+}

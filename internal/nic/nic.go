@@ -219,6 +219,16 @@ type Counters struct {
 	SeqNaks     uint64 // NAK-sequence-errors sent by the responder
 	RetryExc    uint64 // QPs that exhausted their retry budget
 	RxCorrupt   uint64 // inbound packets discarded for corruption (ICRC)
+
+	// Finite-resource observables (the exhaustion surface): ICM context
+	// cache traffic, per-page translation misses and completion-queue
+	// overruns. Ctx* and MTTMisses are refreshed from the caches on every
+	// Counters() call; CQOverruns increments as full CQs drop CQEs.
+	CtxHits      uint64 // ICM context cache (QPC+MPT) hits
+	CtxMisses    uint64 // ICM context cache misses (each cost a DMA fetch)
+	CtxEvictions uint64 // contexts evicted to make room (capacity pressure)
+	MTTMisses    uint64 // TPU translation-cache misses
+	CQOverruns   uint64 // completions dropped at full CQs
 }
 
 func newCounters() Counters {
@@ -242,8 +252,8 @@ type NIC struct {
 	links map[*NIC]*fabric.Link // egress link per peer NIC
 
 	tpu     *TPU
-	tpuSrv  *sim.Server // the TPU pipeline serialises translations
-	qpc     *Cache
+	tpuSrv  *sim.Server   // the TPU pipeline serialises translations
+	qpc     *ContextCache // ICM context cache: QP contexts, plus MR contexts when priced
 	hostDMA *sim.Server
 	txPU    *sim.Server
 	rxPU    *sim.Server
@@ -357,7 +367,7 @@ func New(eng *sim.Engine, name string, p Profile, h *host.Host, numa int) *NIC {
 	n := &NIC{
 		Name: name, eng: eng, prof: p, hst: h, numa: numa,
 		tpu:      NewTPU(p, eng.Rand()),
-		qpc:      NewCache(p.QPCCacheEntries, p.QPCCacheWays),
+		qpc:      NewContextCache(p.QPCCacheEntries),
 		links:    make(map[*NIC]*fabric.Link),
 		qps:      make(map[uint32]*qpState),
 		mrs:      make(map[uint32]*MRInfo),
@@ -426,6 +436,8 @@ func (n *NIC) Counters() *Counters {
 		}
 	}
 	n.counters.WireDropsTC = drops
+	n.counters.CtxHits, n.counters.CtxMisses, n.counters.CtxEvictions = n.qpc.Stats()
+	_, _, _, n.counters.MTTMisses = n.tpu.Counters()
 	return &n.counters
 }
 
@@ -764,7 +776,7 @@ func (n *NIC) handleRequest(m *Message) {
 			extra = n.ResponderDelay()
 		}
 		// QPC lookup: a cold QP context costs an ICM fetch.
-		if !n.qpc.Access(uint64(m.DstQPN)) {
+		if !n.qpc.Access(QPCtxKey(m.DstQPN)) {
 			extra += n.prof.QPCMissPenalty
 		}
 		qp := n.qps[m.DstQPN]
@@ -830,6 +842,14 @@ func (n *NIC) oneSided(qp *qpState, m *Message) {
 		MRKey: mr.Key, Offset: offset, Length: m.Length,
 		MRBase: mr.Base, PageSize: mr.PageSize,
 	})
+	// MPT lookup: when the profile prices MR contexts, a cold one costs an
+	// ICM fetch serialised through the TPU pipeline — so under context
+	// thrash every tenant queues behind the aggressor's fetches. Profiles
+	// with MPTMissPenalty 0 skip the lookup entirely (no occupancy, no
+	// counters), keeping the legacy timing surface untouched.
+	if n.prof.MPTMissPenalty > 0 && !n.qpc.Access(MRCtxKey(mr.Key)) {
+		tpuTime += n.prof.MPTMissPenalty
+	}
 	n.tpuSrv.Submit(tpuTime, 0, func() {
 		switch m.Op {
 		case OpWrite:
@@ -994,8 +1014,14 @@ func (n *NIC) handleResponse(m *Message) {
 // Outstanding reports requester WQEs in flight.
 func (n *NIC) Outstanding() int { return len(n.pend) }
 
-// QPC exposes the QP context cache.
-func (n *NIC) QPC() *Cache { return n.qpc }
+// QPC exposes the ICM context cache (QP contexts, plus MR contexts when the
+// profile prices MPT misses).
+func (n *NIC) QPC() *ContextCache { return n.qpc }
+
+// NoteCQOverrun records one completion dropped at a full CQ. The verbs
+// layer calls it so the loss is visible in the adapter's ethtool-style
+// counters, where exhaustion monitors look for it.
+func (n *NIC) NoteCQOverrun() { n.counters.CQOverruns++ }
 
 func le64(b []byte) uint64 {
 	var v uint64

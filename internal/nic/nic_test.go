@@ -333,3 +333,49 @@ func TestVerifySegmentsRejectsTampering(t *testing.T) {
 		t.Fatal("length mismatch not caught")
 	}
 }
+
+// TestMPTMissPenaltyGated pins the MR-context (MPT) pricing contract:
+// profiles with MPTMissPenalty 0 never touch the ICM cache for MR contexts
+// (legacy timing is bit-for-bit untouched), while a priced profile charges
+// the fetch penalty exactly once per cold MR context.
+func TestMPTMissPenaltyGated(t *testing.T) {
+	run := func(p Profile, n int) (*NIC, sim.Duration) {
+		eng, a, b, region := loopRig(t, p)
+		var comps []Completion
+		connect(t, a, b, func(c Completion) { comps = append(comps, c) })
+		for i := 0; i < n; i++ {
+			a.PostSend(1, &WQE{WRID: uint64(i), Op: OpRead,
+				RemoteKey: 77, RemoteAddr: region.Base(), Length: 8})
+			eng.Run()
+		}
+		last := comps[len(comps)-1]
+		return b, last.DoneTime.Sub(last.PostTime)
+	}
+
+	// Gated off: the responder's ICM cache holds the QP context only.
+	srv, legacyCold := run(CX4, 1)
+	for _, k := range srv.QPC().Keys() {
+		if k == MRCtxKey(77) {
+			t.Fatal("MPTMissPenalty=0 profile installed an MR context")
+		}
+	}
+
+	// Gated on: same profile except MR contexts are priced.
+	priced := CX4
+	priced.MPTMissPenalty = 2 * sim.Microsecond
+	srv, pricedCold := run(priced, 1)
+	if !srv.QPC().Contains(MRCtxKey(77)) {
+		t.Fatal("priced profile did not install the MR context")
+	}
+	if d := pricedCold - legacyCold; d != priced.MPTMissPenalty {
+		t.Fatalf("cold-read delta = %v, want exactly one MPT penalty (%v)", d, priced.MPTMissPenalty)
+	}
+
+	// Warm path: the second read pays no MPT penalty, so the priced and
+	// legacy profiles agree once the context is resident.
+	_, legacyWarm := run(CX4, 2)
+	_, pricedWarm := run(priced, 2)
+	if legacyWarm != pricedWarm {
+		t.Fatalf("warm reads diverge: legacy %v vs priced %v", legacyWarm, pricedWarm)
+	}
+}

@@ -50,13 +50,23 @@ type Profile struct {
 	TPUSpike     sim.Duration // rare positive latency spikes
 	TPUSpikeP    float64
 
-	// On-board caches (Pythia's persistent channel target).
+	// On-board caches (Pythia's persistent channel target, and the
+	// finite-resource surface the noisy-neighbor exhaustion attacks abuse).
+	// QPCCacheEntries bounds the fully-associative ICM context cache
+	// (ContextCache) holding QP and MR contexts; the set-associative
+	// MTT cache keeps its own geometry for per-page translations.
 	MTTCacheEntries int // translation entries cached on-NIC
 	MTTCacheWays    int
 	MTTMissPenalty  sim.Duration // ICM fetch over PCIe on miss
 	QPCCacheEntries int
 	QPCCacheWays    int
 	QPCMissPenalty  sim.Duration
+	// MPTMissPenalty prices an MR-context (MPT) miss in the shared ICM
+	// context cache, charged on the TPU path. Zero disables MR-context
+	// caching entirely — the legacy profiles below keep it at zero so every
+	// pre-exhaustion experiment is timed exactly as before; the exhaust
+	// experiment runs a constrained profile copy with it enabled.
+	MPTMissPenalty sim.Duration
 
 	// PU complex / NoC behaviour (Key Finding 2).
 	ComplexPPS    float64      // shared processing complex capacity, msgs/us (base NoC clock)

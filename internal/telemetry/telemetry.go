@@ -31,6 +31,14 @@ type Snapshot struct {
 	DupAcks     uint64    // duplicate ACKs coalesced by the requester
 	RetryExc    uint64    // QPs that exhausted their retry budget
 	RxCorrupt   uint64    // inbound packets discarded for corruption
+
+	// Finite-resource observables (the exhaustion surface): ICM context
+	// cache traffic, translation misses and completion-queue overruns.
+	CtxHits      uint64 // context cache hits
+	CtxMisses    uint64 // context cache misses (each cost a DMA fetch)
+	CtxEvictions uint64 // contexts evicted under capacity pressure
+	MTTMisses    uint64 // translation-cache misses
+	CQOverruns   uint64 // completions dropped at full CQs
 }
 
 // Snap reads the current counter state of a NIC.
@@ -53,6 +61,11 @@ func Snap(eng *sim.Engine, n *nic.NIC) Snapshot {
 	s.DupAcks = c.DupAcks
 	s.RetryExc = c.RetryExc
 	s.RxCorrupt = c.RxCorrupt
+	s.CtxHits = c.CtxHits
+	s.CtxMisses = c.CtxMisses
+	s.CtxEvictions = c.CtxEvictions
+	s.MTTMisses = c.MTTMisses
+	s.CQOverruns = c.CQOverruns
 	for k, v := range c.RxMsgs {
 		s.PerOpcode[k] = v
 	}
@@ -81,6 +94,11 @@ func Delta(prev, cur Snapshot) Snapshot {
 	d.DupAcks = cur.DupAcks - prev.DupAcks
 	d.RetryExc = cur.RetryExc - prev.RetryExc
 	d.RxCorrupt = cur.RxCorrupt - prev.RxCorrupt
+	d.CtxHits = cur.CtxHits - prev.CtxHits
+	d.CtxMisses = cur.CtxMisses - prev.CtxMisses
+	d.CtxEvictions = cur.CtxEvictions - prev.CtxEvictions
+	d.MTTMisses = cur.MTTMisses - prev.MTTMisses
+	d.CQOverruns = cur.CQOverruns - prev.CQOverruns
 	for i := range cur.PerTC {
 		d.PerTC[i] = cur.PerTC[i] - prev.PerTC[i]
 		d.PFCPauses[i] = cur.PFCPauses[i] - prev.PFCPauses[i]

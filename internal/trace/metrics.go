@@ -150,6 +150,47 @@ func (m *Metrics) observe(ev Event) {
 	}
 }
 
+// deltaFrom subtracts a baseline from the cumulative histogram, yielding
+// the distribution of samples recorded since the baseline was copied.
+// Counts, sum and n subtract exactly (so Quantile and Mean are exact over
+// the window); Max keeps the cumulative maximum, since order statistics
+// cannot be un-merged — a documented approximation.
+func (h Histogram) deltaFrom(base Histogram) Histogram {
+	out := h
+	for i := range out.counts {
+		out.counts[i] -= base.counts[i]
+	}
+	out.sum -= base.sum
+	out.n -= base.n
+	return out
+}
+
+// DeltaFrom returns the increments recorded since base was copied off this
+// registry (Metrics is value-copyable: `snap := *rec.Metrics()` captures a
+// baseline). Experiments use it to compare an attack window's latency
+// distributions against a pre-attack baseline on the same recorder.
+func (m *Metrics) DeltaFrom(base *Metrics) *Metrics {
+	d := &Metrics{}
+	for i := range m.Counts {
+		d.Counts[i] = m.Counts[i] - base.Counts[i]
+	}
+	d.TxBytes = m.TxBytes - base.TxBytes
+	d.RxBytes = m.RxBytes - base.RxBytes
+	for i := 0; i < 8; i++ {
+		d.TxBytesTC[i] = m.TxBytesTC[i] - base.TxBytesTC[i]
+		d.RxBytesTC[i] = m.RxBytesTC[i] - base.RxBytesTC[i]
+		d.WireDropsTC[i] = m.WireDropsTC[i] - base.WireDropsTC[i]
+		d.CorruptsTC[i] = m.CorruptsTC[i] - base.CorruptsTC[i]
+		d.PFCPauses[i] = m.PFCPauses[i] - base.PFCPauses[i]
+		d.QueueDelay[i] = m.QueueDelay[i].deltaFrom(base.QueueDelay[i])
+	}
+	d.RetxStall = m.RetxStall.deltaFrom(base.RetxStall)
+	d.ULIJitter = m.ULIJitter.deltaFrom(base.ULIJitter)
+	d.WQELatency = m.WQELatency.deltaFrom(base.WQELatency)
+	d.lastULI = m.lastULI
+	return d
+}
+
 // Count returns the tally for one kind.
 func (m *Metrics) Count(k Kind) uint64 {
 	if m == nil || int(k) >= NumKinds {

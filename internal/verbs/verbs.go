@@ -164,18 +164,24 @@ func (mr *MR) Describe(offset uint64) RemoteBuf {
 
 // CQ is a completion queue.
 type CQ struct {
-	ctx     *Context
-	entries []nic.Completion
-	cap     int
-	// Notify, when set, fires on every completion push — the simulation
-	// analogue of a completion-channel wakeup, letting measurement loops
-	// react without busy-polling virtual time.
+	ctx      *Context
+	entries  []nic.Completion
+	cap      int
+	overruns uint64
+	// Notify, when set, is an armed consumer: every completion is handed
+	// to it directly instead of queueing — the simulation analogue of a
+	// completion-channel handler that always keeps up, letting measurement
+	// loops react without busy-polling virtual time. Only unarmed
+	// (polling-mode) CQs buffer entries and can therefore overrun.
 	Notify func(nic.Completion)
 }
 
-// CreateCQ creates a completion queue holding up to capacity entries;
-// overflow drops the oldest (real CQs error, but the measurement loops here
-// always poll promptly — the cap only guards runaway tests).
+// CreateCQ creates a completion queue holding up to capacity entries. A
+// push onto a full CQ is an overrun: the new CQE is dropped and counted
+// (here and in the NIC's CQOverruns counter) — the simulation analogue of
+// IBV_EVENT_CQ_ERR. The WQE itself still retires on the NIC, so the QP
+// keeps flowing; only the notification is lost, exactly the failure mode
+// a CQ-exhaustion aggressor induces for its victims.
 func (c *Context) CreateCQ(capacity int) *CQ {
 	if capacity <= 0 {
 		capacity = 4096
@@ -187,14 +193,20 @@ func (q *CQ) push(comp nic.Completion) {
 	q.ctx.rec.Emit(trace.Event{At: int64(comp.DoneTime), Kind: trace.KindWQESpan,
 		Actor: q.ctx.recActor, QPN: comp.QPN, Val: comp.WRID, Aux: uint64(comp.Status),
 		Dur: int64(comp.DoneTime.Sub(comp.PostTime)), TC: -1})
-	if len(q.entries) >= q.cap {
-		q.entries = q.entries[1:]
-	}
-	q.entries = append(q.entries, comp)
 	if q.Notify != nil {
 		q.Notify(comp)
+		return
 	}
+	if len(q.entries) >= q.cap {
+		q.overruns++
+		q.ctx.dev.NoteCQOverrun()
+		return
+	}
+	q.entries = append(q.entries, comp)
 }
+
+// Overruns reports completions dropped because the CQ was full.
+func (q *CQ) Overruns() uint64 { return q.overruns }
 
 // Poll removes and returns up to n completions.
 func (q *CQ) Poll(n int) []nic.Completion {

@@ -330,16 +330,127 @@ func TestSetTCFlowsToCounters(t *testing.T) {
 	}
 }
 
-func TestCQOverflowDropsOldest(t *testing.T) {
+func TestCQOverrunInvariants(t *testing.T) {
+	cases := []struct {
+		name         string
+		cap          int
+		pushes       int
+		wantPolled   int
+		wantOverruns uint64
+	}{
+		{"below capacity", 4, 3, 3, 0},
+		{"at capacity", 4, 4, 4, 0},
+		{"one over", 4, 5, 4, 1},
+		{"far over", 2, 9, 2, 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine(1)
+			c := NewContext(eng, "c", host.H2, nic.CX4, 0)
+			cq := c.CreateCQ(tc.cap)
+			for i := 0; i < tc.pushes; i++ {
+				cq.push(nic.Completion{WRID: uint64(i)})
+			}
+			got := cq.Poll(tc.pushes + 1)
+			if len(got) != tc.wantPolled {
+				t.Fatalf("polled %d CQEs, want %d", len(got), tc.wantPolled)
+			}
+			// An overrun drops the newcomer: every CQE accepted below
+			// capacity survives, in order — nothing is silently lost.
+			for i, comp := range got {
+				if comp.WRID != uint64(i) {
+					t.Fatalf("CQE %d has WRID %d, want %d", i, comp.WRID, i)
+				}
+			}
+			if cq.Overruns() != tc.wantOverruns {
+				t.Fatalf("Overruns = %d, want %d", cq.Overruns(), tc.wantOverruns)
+			}
+			if got := c.NIC().Counters().CQOverruns; got != tc.wantOverruns {
+				t.Fatalf("NIC CQOverruns = %d, want %d", got, tc.wantOverruns)
+			}
+		})
+	}
+}
+
+// An armed Notify consumer takes every completion straight off the ring:
+// nothing queues, nothing overruns, no matter how far past the CQ's
+// capacity the burst runs.
+func TestCQArmedNotifyNeverOverruns(t *testing.T) {
 	eng := sim.NewEngine(1)
 	c := NewContext(eng, "c", host.H2, nic.CX4, 0)
 	cq := c.CreateCQ(2)
-	for i := 0; i < 3; i++ {
+	var notified int
+	cq.Notify = func(nic.Completion) { notified++ }
+	for i := 0; i < 9; i++ {
 		cq.push(nic.Completion{WRID: uint64(i)})
 	}
+	if notified != 9 {
+		t.Fatalf("Notify fired %d times, want 9", notified)
+	}
+	if cq.Overruns() != 0 || cq.Len() != 0 {
+		t.Fatalf("armed CQ overran (%d) or buffered (%d)", cq.Overruns(), cq.Len())
+	}
+}
+
+// A QP whose CQ overran must not wedge: the WQEs still retire on the NIC,
+// and once the CQ is drained new completions land normally again.
+func TestCQOverrunDrainedQPRecovers(t *testing.T) {
+	eng := sim.NewEngine(42)
+	client := NewContext(eng, "client", host.H2, nic.CX4, 0)
+	server := NewContext(eng, "server", host.H3, nic.CX4, 0)
+	net := NewNetwork(eng)
+	net.ConnectContexts(client, server, fabric.DefaultQoS())
+
+	spd := server.AllocPD()
+	mr, err := spd.RegMR(2<<20, host.Page2M, AccessRemoteRead|AccessRemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpd := client.AllocPD()
+	cq := client.CreateCQ(2)
+	qp, err := client.CreateQP(cpd, cq, QPCap{MaxSendWR: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqp, err := server.CreateQP(spd, server.CreateCQ(0), QPCap{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Connect(qp, sqp); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("01234567")
+	for i := 0; i < 6; i++ {
+		if err := qp.PostWrite(uint64(i), payload, mr.Describe(0), len(payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if n := qp.Outstanding(); n != 0 {
+		t.Fatalf("QP stuck after CQ overrun: %d WQEs still in flight", n)
+	}
+	if got := cq.Poll(10); len(got) != 2 {
+		t.Fatalf("polled %d CQEs from overrun CQ, want 2", len(got))
+	}
+	if cq.Overruns() != 4 {
+		t.Fatalf("Overruns = %d, want 4", cq.Overruns())
+	}
+
+	// Drained: the next completions are accepted, and the overrun counter
+	// stays put.
+	for i := 6; i < 8; i++ {
+		if err := qp.PostWrite(uint64(i), payload, mr.Describe(0), len(payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
 	got := cq.Poll(10)
-	if len(got) != 2 || got[0].WRID != 1 || got[1].WRID != 2 {
-		t.Fatalf("overflowed CQ = %+v", got)
+	if len(got) != 2 || got[0].WRID != 6 || got[1].WRID != 7 {
+		t.Fatalf("post-drain completions = %+v, want WRIDs 6,7", got)
+	}
+	if cq.Overruns() != 4 {
+		t.Fatalf("Overruns after recovery = %d, want 4", cq.Overruns())
 	}
 }
 

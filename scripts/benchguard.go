@@ -1,18 +1,19 @@
 // Command benchguard is the allocation gate behind `make benchguard` and the
 // bench-guard CI job. It reads `go test -bench -benchmem` output on stdin and
 // fails when any guarded benchmark reports more than zero allocs/op — the
-// scheduler hot path, the disabled-recorder emit path and the switch
-// forwarding path are required to stay allocation-free, and this gate is what
-// turns a regression into a red build instead of a slow simulator.
+// scheduler hot path, the disabled-recorder emit path, the switch
+// forwarding path and the ICM context-cache hit path are required to stay
+// allocation-free, and this gate is what turns a regression into a red
+// build instead of a slow simulator.
 //
 // Usage:
 //
-//	go test -run '^$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward)' \
-//	    -benchtime 1000x -benchmem ./internal/sim ./internal/trace ./internal/fabric \
+//	go test -run '^$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward|BenchmarkContextCacheHit)' \
+//	    -benchtime 1000x -benchmem ./internal/sim ./internal/trace ./internal/fabric ./internal/nic \
 //	    | go run ./scripts/benchguard.go
 //
 // The gate also fails when fewer guarded benchmarks appear than expected
-// (-min, default 6): a renamed or deleted benchmark must not silently drop
+// (-min, default 7): a renamed or deleted benchmark must not silently drop
 // out of the guard.
 package main
 
@@ -28,7 +29,7 @@ import (
 
 // guarded matches the benchmarks that must stay at 0 allocs/op. Amortised
 // B/op from slab growth is allowed; allocation count is not.
-var guarded = regexp.MustCompile(`^Benchmark(Engine\w*|EmitDisabled|SwitchForward)$`)
+var guarded = regexp.MustCompile(`^Benchmark(Engine\w*|EmitDisabled|SwitchForward|ContextCacheHit)$`)
 
 // benchLine captures "BenchmarkName-8  1000  123 ns/op  0 B/op  0 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
@@ -36,7 +37,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 var allocsField = regexp.MustCompile(`(\d+)\s+allocs/op`)
 
 func main() {
-	min := flag.Int("min", 6, "minimum number of guarded benchmarks that must appear")
+	min := flag.Int("min", 7, "minimum number of guarded benchmarks that must appear")
 	flag.Parse()
 
 	seen := 0

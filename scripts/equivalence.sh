@@ -10,7 +10,7 @@ trap 'rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/ragnar" ./cmd/ragnar
 
-for exp in fig4 fig5 fig6 fig8 table5 lossgrid tenants; do
+for exp in fig4 fig5 fig6 fig8 table5 lossgrid tenants exhaust; do
 	"$tmp/ragnar" -workers 1 -seed 7 "$exp" >"$tmp/seq.out"
 	"$tmp/ragnar" -workers 4 -seed 7 "$exp" >"$tmp/par.out"
 	if ! cmp -s "$tmp/seq.out" "$tmp/par.out"; then
