@@ -29,13 +29,16 @@ build:
 test: build
 	$(GO) test ./...
 
+# -race across the whole tree also covers the partitioned engine: the clos
+# determinism tests run the window protocol's goroutines under the detector.
 race:
 	$(GO) test -race ./...
 
-# Short-mode equivalence: the determinism suites plus an end-to-end CLI diff
-# of -workers=1 vs -workers=4 output on the converted experiments.
+# Short-mode equivalence: the determinism suites (worker sweeps AND engine
+# partitioning) plus an end-to-end CLI diff of -workers=1 vs -workers=4 and
+# -domains=1 vs 2 vs 6 output on the converted experiments.
 equivalence:
-	$(GO) test -run 'Deterministic|Golden|StableAcross' ./internal/parallel ./internal/revengine ./internal/experiments
+	$(GO) test -run 'Deterministic|Golden|StableAcross' ./internal/parallel ./internal/revengine ./internal/experiments ./internal/lab
 	./scripts/equivalence.sh
 
 bench:
@@ -43,10 +46,13 @@ bench:
 
 # The hot paths the zero-alloc refactor bought must stay allocation-free:
 # run the guarded benchmarks with -benchmem and gate on allocs/op == 0.
+# ./internal/sim/parallel contributes the inter-domain channel ping-pong
+# (BenchmarkEngineParallelXfer), so the window protocol's stage/drain/deliver
+# cycle is gated alongside the serial scheduler.
 benchguard:
 	$(GO) test -run '^$$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward|BenchmarkContextCacheHit)' \
-		-benchtime 1000x -benchmem ./internal/sim ./internal/trace ./internal/fabric ./internal/nic \
-		| $(GO) run ./scripts/benchguard.go
+		-benchtime 1000x -benchmem ./internal/sim ./internal/sim/parallel ./internal/trace ./internal/fabric ./internal/nic \
+		| $(GO) run ./scripts/benchguard.go -min 8
 
 perf:
 	./scripts/bench.sh

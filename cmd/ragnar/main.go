@@ -5,7 +5,7 @@
 //	ragnar [-nic cx4|cx5|cx6] [-full] [-seed N] <experiment> [...]
 //
 // Experiments: table1 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table5 lossgrid tenants exhaust pythia fig12 fig13 defense all
+// table5 lossgrid tenants exhaust pythia fig12 fig13 defense clos all
 //
 // The trace subcommand re-runs an experiment rig with the flight recorder
 // attached and exports the event stream:
@@ -30,13 +30,18 @@ func main() {
 	full := flag.Bool("full", false, "run paper-scale parameter spaces (slower)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for sweeps (1 = sequential; results are identical at any count)")
+	domains := flag.Int("domains", 1, "engine domains for partitionable fabrics (clos; results are identical at any count)")
 	perClass := flag.Int("perclass", 12, "fig13 traces per class (paper: ~395)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	flag.Parse()
 	emitJSON = *jsonOut
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "ragnar: -workers %d invalid, using %d\n", *workers, runtime.GOMAXPROCS(0))
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|tenants|exhaust|pythia|fig12|fig13|defense|all>")
+		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|tenants|exhaust|pythia|fig12|fig13|defense|clos|all>")
 		fmt.Fprintln(os.Stderr, "       ragnar [flags] trace [-o out.json] [-text] <fig9|intermr|intramr|lossgrid>")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -56,10 +61,10 @@ func main() {
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "table5", "lossgrid", "tenants", "exhaust", "pythia", "fig12", "fig13", "defense"}
+			"fig9", "fig10", "fig11", "table5", "lossgrid", "tenants", "exhaust", "pythia", "fig12", "fig13", "defense", "clos"}
 	}
 	for _, exp := range args {
-		if err := run(exp, prof, *full, *seed, *perClass, *workers); err != nil {
+		if err := run(exp, prof, *full, *seed, *perClass, *workers, *domains); err != nil {
 			fatalf("%s: %v", exp, err)
 		}
 	}
@@ -79,7 +84,7 @@ func emit(result any, render func() string) error {
 	return enc.Encode(result)
 }
 
-func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers int) error {
+func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers, domains int) error {
 	probes := 200
 	if full {
 		probes = 600
@@ -200,8 +205,14 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers 
 			return err
 		}
 		return emit(r, r.Render)
+	case "clos":
+		r, err := experiments.Clos(prof, domains, full, seed, workers)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
 	default:
-		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 lossgrid tenants exhaust pythia defense)")
+		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 lossgrid tenants exhaust pythia defense clos)")
 	}
 	return nil
 }

@@ -26,6 +26,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for sweeps (1 = sequential; results are identical at any count)")
 	flag.Parse()
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "rebench: -workers %d invalid, using %d\n", *workers, runtime.GOMAXPROCS(0))
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	prof, ok := nic.ProfileByName(*nicName)
 	if !ok {
 		fatalf("unknown NIC %q", *nicName)

@@ -27,7 +27,12 @@ type Packet struct {
 	// Dst is the fabric-level destination address (assigned per NIC by
 	// verbs.Network). Direct point-to-point links ignore it; switches use it
 	// for forwarding-table lookups without interpreting the payload.
-	Dst     uint32
+	Dst uint32
+	// Flow is a stable flow label stamped by the sending NIC (derived from
+	// the QP pair). Switches with ECMP port groups hash it to pick an egress,
+	// so one flow always takes one path — flow-level multipath, never
+	// per-packet spraying (which would reorder and trigger go-back-N).
+	Flow    uint32
 	Payload any
 	// Corrupt marks a packet whose payload integrity was lost in flight
 	// (FaultPlan corruption). The receiving NIC must treat it like an ICRC
@@ -141,6 +146,14 @@ type Link struct {
 	propQ    []Packet
 	propHead int
 	propDone func()
+
+	// remote, when set, replaces the local propagation leg: the packet and
+	// its arrival time (now + propDelay) are handed to the hook instead of
+	// the engine's own queue. The parallel partitioner installs an
+	// inter-domain channel stage here for links whose sink lives on another
+	// domain's engine; everything upstream of propagation (queueing, ETS,
+	// serialization, fault injection) is unchanged.
+	remote func(at sim.Time, p Packet)
 
 	// Telemetry, per TC.
 	txBytes   [NumTCs]uint64
@@ -394,10 +407,28 @@ func (l *Link) finishTx() {
 		l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireCorrupt,
 			Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
 	}
+	if l.remote != nil {
+		l.remote(l.eng.Now().Add(l.propDelay), p)
+		l.drain()
+		return
+	}
 	l.propPush(p)
 	l.eng.After(l.propDelay, l.propDone)
 	l.drain()
 }
+
+// SetRemote installs (or, with nil, clears) the cross-domain propagation
+// hook. Wiring time only: the hook must deliver the packet to the original
+// sink at exactly the given arrival time on the destination engine, or the
+// partitioned run diverges from the serial one.
+func (l *Link) SetRemote(fn func(at sim.Time, p Packet)) { l.remote = fn }
+
+// PropDelay reports the link's propagation delay (the lookahead bound a
+// partitioner may rely on for this link).
+func (l *Link) PropDelay() sim.Duration { return l.propDelay }
+
+// Sink returns the delivery callback the link was wired with.
+func (l *Link) Sink() func(Packet) { return l.sink }
 
 // propPush appends to the propagation ring, rewinding or compacting the
 // backing slice first when the consumed prefix dominates it (same discipline

@@ -78,10 +78,18 @@ type swPort struct {
 	queuedTC [NumTCs]int // bytes backlogged at this port's egress, per TC
 	pausedTC [NumTCs]bool
 	// Pause frames received *from* the attached device (PortPause): while
-	// set, this port's egress link is paused for the class. rxPauseEnd is
-	// the quanta expiry; refreshing frames push it forward.
-	rxPaused   [NumTCs]bool
-	rxPauseEnd [NumTCs]sim.Time
+	// set, this port's egress link is paused for the class. Each class holds
+	// at most one armed expiry event; a refreshing frame cancels and
+	// re-arms it, so no stale expiry callbacks linger in the queue after a
+	// run (the parallel barrier's quiesce check audits exactly that).
+	rxPaused  [NumTCs]bool
+	rxPauseEv [NumTCs]sim.Event
+	rxExpire  [NumTCs]func() // pre-bound expiry callbacks, built lazily
+	// relay, when set, replaces the direct upstream.PauseTC/ResumeTC call
+	// for this port's PFC propagation. Trunk ports use it to model the
+	// pause frame's flight time to the peer switch — and, in a partitioned
+	// run, to carry the state change across the domain boundary.
+	relay func(tc int, pause bool)
 }
 
 // swPending is one packet in the forwarding pipeline (FwdDelay latency).
@@ -100,7 +108,10 @@ type Switch struct {
 	cfg SwitchConfig
 
 	ports []*swPort
-	table []int32 // destination address -> port (-1 = unroutable)
+	table []int32 // destination address -> port (-1 = unroutable, -2 = ECMP group)
+	// ecmp holds the port groups behind ecmpEntry table slots. Egress choice
+	// hashes the packet's flow label, so one flow sticks to one path.
+	ecmp map[uint32][]int32
 
 	// Shared-buffer occupancy: admission-counted at Ingress, released when
 	// the packet leaves its egress queue for the wire (Link dequeue hook) or
@@ -171,6 +182,16 @@ func (s *Switch) AddPort(name string, rateGbps float64, prop sim.Duration, maxQu
 // given port — the target PFC pause frames are sent to.
 func (s *Switch) SetUpstream(port int, l *Link) { s.ports[port].upstream = l }
 
+// SetPauseRelay replaces the port's direct upstream PauseTC/ResumeTC call
+// with relay (nil restores the direct call). Wiring time only. The lab
+// builder installs relays on trunk ports so the pause frame takes the
+// trunk's propagation delay to reach the peer switch — identically in
+// serial runs (a delayed event) and partitioned runs (an inter-domain
+// channel transfer).
+func (s *Switch) SetPauseRelay(port int, relay func(tc int, pause bool)) {
+	s.ports[port].relay = relay
+}
+
 // EgressLink exposes a port's egress link (fault plans, counters, QoS).
 func (s *Switch) EgressLink(port int) *Link { return s.ports[port].egress }
 
@@ -190,6 +211,49 @@ func (s *Switch) Route(addr uint32, port int) {
 		s.table = append(s.table, -1)
 	}
 	s.table[addr] = int32(port)
+}
+
+// ecmpEntry marks a table slot whose egress is a hashed port group.
+const ecmpEntry int32 = -2
+
+// RouteECMP installs a multipath forwarding entry: packets addressed to
+// addr leave through one of ports, picked by a deterministic hash of the
+// packet's flow label. Equal-cost multipath at flow granularity — packets
+// of one flow never reorder across paths. A single-port group degrades to
+// a plain Route entry.
+func (s *Switch) RouteECMP(addr uint32, ports []int) {
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("fabric %s: empty ECMP group for addr %d", s.cfg.Name, addr))
+	}
+	if len(ports) == 1 {
+		s.Route(addr, ports[0])
+		return
+	}
+	for int(addr) >= len(s.table) {
+		s.table = append(s.table, -1)
+	}
+	s.table[addr] = ecmpEntry
+	if s.ecmp == nil {
+		s.ecmp = make(map[uint32][]int32)
+	}
+	group := make([]int32, len(ports))
+	for i, p := range ports {
+		group[i] = int32(p)
+	}
+	s.ecmp[addr] = group
+}
+
+// flowHash mixes the flow label and destination into an ECMP pick. The
+// avalanche (splitmix-style) matters: flow labels are often near-sequential
+// QPN pairs, and a weak hash would pile every flow onto one uplink.
+func flowHash(flow, dst uint32) uint32 {
+	x := flow ^ dst*0x9E3779B9
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
 }
 
 // SetRecorder attaches a flight recorder: the switch registers one actor for
@@ -212,6 +276,10 @@ func (s *Switch) Ingress(p Packet) {
 	out := int32(-1)
 	if int(p.Dst) < len(s.table) {
 		out = s.table[p.Dst]
+		if out == ecmpEntry {
+			group := s.ecmp[p.Dst]
+			out = group[flowHash(p.Flow, p.Dst)%uint32(len(group))]
+		}
 	}
 	if out < 0 {
 		s.unroutable++
@@ -307,7 +375,9 @@ func (s *Switch) enqueue(port int, pkt Packet) {
 			Actor: s.recActor, TC: int8(pkt.TC & 7), Val: uint64(p.queuedTC[pkt.TC]), Aux: 1})
 		if s.pauseRef[pkt.TC] == 1 {
 			for _, up := range s.ports {
-				if up.upstream != nil {
+				if up.relay != nil {
+					up.relay(pkt.TC, true)
+				} else if up.upstream != nil {
 					up.upstream.PauseTC(pkt.TC)
 				}
 			}
@@ -329,7 +399,9 @@ func (s *Switch) release(port, tc, bytes int) {
 			Actor: s.recActor, TC: int8(tc & 7), Val: uint64(p.queuedTC[tc]), Aux: 0})
 		if s.pauseRef[tc] == 0 {
 			for _, up := range s.ports {
-				if up.upstream != nil {
+				if up.relay != nil {
+					up.relay(tc, false)
+				} else if up.upstream != nil {
 					up.upstream.ResumeTC(tc)
 				}
 			}
@@ -348,27 +420,35 @@ func (s *Switch) PortPause(port, tc int) {
 	p := s.ports[port]
 	s.rxPauses[tc]++
 	end := s.eng.Now().Add(s.cfg.PauseQuanta)
-	p.rxPauseEnd[tc] = end
+	// One armed expiry per (port, TC): a refreshing frame cancels the
+	// previous event instead of stacking a stale no-op behind it. The old
+	// schedule-per-frame scheme left every superseded expiry pending until
+	// its timestamp passed, so Engine.Pending was nonzero long after a run
+	// quiesced — an event leak the parallel barrier cannot tolerate.
+	p.rxPauseEv[tc].Cancel()
+	if p.rxExpire[tc] == nil {
+		port, tc := port, tc
+		p.rxExpire[tc] = func() { s.PortResume(port, tc) }
+	}
+	p.rxPauseEv[tc] = s.eng.At(end, p.rxExpire[tc])
 	if !p.rxPaused[tc] {
 		p.rxPaused[tc] = true
 		p.egress.PauseTC(tc)
 		s.rec.Emit(trace.Event{At: int64(s.eng.Now()), Kind: trace.KindPFCPause,
 			Actor: s.recActor, TC: int8(tc & 7), Val: uint64(port), Aux: 1})
 	}
-	s.eng.At(end, func() {
-		if p.rxPaused[tc] && s.eng.Now() >= p.rxPauseEnd[tc] {
-			s.PortResume(port, tc)
-		}
-	})
 }
 
 // PortResume models the pause clearing (a zero-quanta frame, or quanta
-// expiry): the port's egress link resumes the class and drains.
+// expiry): the port's egress link resumes the class and drains. Any armed
+// expiry is cancelled (cancelling the event that just fired is a no-op).
 func (s *Switch) PortResume(port, tc int) {
 	p := s.ports[port]
 	if !p.rxPaused[tc] {
 		return
 	}
+	p.rxPauseEv[tc].Cancel()
+	p.rxPauseEv[tc] = sim.Event{}
 	p.rxPaused[tc] = false
 	p.egress.ResumeTC(tc)
 	s.rec.Emit(trace.Event{At: int64(s.eng.Now()), Kind: trace.KindPFCPause,

@@ -1,0 +1,252 @@
+package lab
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/fabric"
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+// closRun builds the given Clos, drives a cross-leaf workload of mixed
+// reads and writes from every client, and folds every observable — each
+// completion's virtual timestamp, switch forwarding and PFC counters, NIC
+// counters — into one string. Two configs that differ only in Domains must
+// produce the same string: that is the partitioned-engine equivalence
+// contract.
+func closRun(cfg ClosConfig) (string, error) {
+	c := Clos(cfg)
+	mr, err := c.RegisterServerMR(4 << 20)
+	if err != nil {
+		return "", err
+	}
+	sizes := []int{64, 4096, 512, 65536, 1024, 256}
+	conns := make([]*Conn, len(c.Clients))
+	for i := range c.Clients {
+		if conns[i], err = c.Dial(i, len(sizes)+2); err != nil {
+			return "", err
+		}
+	}
+	for i, conn := range conns {
+		for j, sz := range sizes {
+			target := mr.Describe(uint64(i) * (64 << 10))
+			if j%2 == 0 {
+				err = conn.QP.PostRead(uint64(j), nil, target, sz)
+			} else {
+				err = conn.QP.PostWrite(uint64(j), nil, target, sz)
+			}
+			if err != nil {
+				return "", err
+			}
+		}
+	}
+	c.Run()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%d\n", c.Now())
+	for i, conn := range conns {
+		fmt.Fprintf(&b, "client%d:", i)
+		for _, comp := range conn.CQ.Poll(conn.CQ.Len()) {
+			fmt.Fprintf(&b, " %d@%d/%d", comp.WRID, comp.DoneTime, comp.Status)
+		}
+		cnt := c.Clients[i].NIC().Counters()
+		fmt.Fprintf(&b, " tx=%d rx=%d rtx=%d\n", cnt.TxBytes, cnt.RxBytes, cnt.Retransmits)
+	}
+	for _, sw := range c.Switches {
+		var pfc uint64
+		for tc := 0; tc < fabric.NumTCs; tc++ {
+			pfc += sw.PFCPauses(tc)
+		}
+		fmt.Fprintf(&b, "%s: fwd=%d/%d pfc=%d\n", sw.Name(), sw.FwdPackets(), sw.FwdBytes(), pfc)
+	}
+	if err := c.DrainCheck(); err != nil {
+		fmt.Fprintf(&b, "drain: %v\n", err)
+	}
+	return b.String(), nil
+}
+
+func smallClos(domains int) ClosConfig {
+	return ClosConfig{
+		Seed: 7, Profile: nic.CX5,
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		Domains: domains,
+	}
+}
+
+// TestClosDeterministicAcrossDomains is the tentpole oracle at unit-test
+// scale: the same fabric partitioned over 1, 2, 3 and 4 engine domains
+// (4 = one per component; 8 exercises the clamp) must produce
+// byte-identical completion timelines and counters.
+func TestClosDeterministicAcrossDomains(t *testing.T) {
+	want, err := closRun(smallClos(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(want, "client2:") || strings.Contains(want, "drain:") {
+		t.Fatalf("serial baseline looks broken:\n%s", want)
+	}
+	for _, domains := range []int{2, 3, 4, 8} {
+		got, err := closRun(smallClos(domains))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("domains=%d diverged from serial:\n--- serial ---\n%s--- domains=%d ---\n%s",
+				domains, want, domains, got)
+		}
+	}
+}
+
+// TestClosRunToRunDeterministic pins that a partitioned run is reproducible
+// against itself — goroutine scheduling must not leak into virtual time.
+func TestClosRunToRunDeterministic(t *testing.T) {
+	a, err := closRun(smallClos(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := closRun(smallClos(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("two identical partitioned runs diverged:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// TestClosECMPSpreadsAcrossSpines: with several clients on a foreign leaf
+// all talking to the server, flow hashing must light up every spine.
+func TestClosECMPSpreadsAcrossSpines(t *testing.T) {
+	cfg := ClosConfig{Seed: 3, Profile: nic.CX5, Leaves: 2, Spines: 2, HostsPerLeaf: 5}
+	c := Clos(cfg)
+	mr, err := c.RegisterServerMR(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Clients {
+		conn, err := c.Dial(i, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < 3; w++ {
+			if err := conn.QP.PostRead(uint64(w), nil, mr.Describe(0), 2048); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Run()
+	for _, sw := range c.Switches[cfg.Leaves:] {
+		if sw.FwdPackets() == 0 {
+			t.Errorf("ECMP left %s idle — all flows hashed onto one spine", sw.Name())
+		}
+	}
+}
+
+// TestClosDomainClamp: domain counts outside [1, leaves+spines] must clamp,
+// and the topology must report its engines accordingly.
+func TestClosDomainClamp(t *testing.T) {
+	for _, tc := range []struct{ domains, wantEngines int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {4, 4}, {99, 4},
+	} {
+		c := Clos(smallClos(tc.domains))
+		if got := len(c.Engines); got != tc.wantEngines {
+			t.Errorf("Domains=%d: %d engines, want %d", tc.domains, got, tc.wantEngines)
+		}
+		if tc.wantEngines == 1 && c.Group != nil {
+			t.Errorf("Domains=%d: single-engine build still got a Group", tc.domains)
+		}
+		if c.Eng != c.Engines[0] {
+			t.Errorf("Domains=%d: Eng is not Engines[0]", tc.domains)
+		}
+	}
+}
+
+// FuzzDomainPartition hammers the equivalence contract over random fabric
+// shapes: any (leaves, spines, hosts, seed) combination partitioned over
+// any domain count must match its single-engine build byte for byte.
+func FuzzDomainPartition(f *testing.F) {
+	f.Add(int8(2), int8(2), int8(2), int8(3), int64(7))
+	f.Add(int8(3), int8(1), int8(1), int8(2), int64(1))
+	f.Add(int8(1), int8(2), int8(2), int8(4), int64(42))
+	f.Fuzz(func(t *testing.T, leaves, spines, hosts, domains int8, seed int64) {
+		abs := func(v int8) int {
+			if v < 0 {
+				return -int(v)
+			}
+			return int(v)
+		}
+		cfg := ClosConfig{
+			Seed: seed, Profile: nic.CX5,
+			Leaves:       abs(leaves)%3 + 1,
+			Spines:       abs(spines)%2 + 1,
+			HostsPerLeaf: abs(hosts)%2 + 1,
+			Domains:      1,
+		}
+		want, err := closRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Domains = abs(domains) % 8 // Clos clamps to [1, leaves+spines]
+		got, err := closRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("leaves=%d spines=%d hosts=%d seed=%d: domains=%d diverged from serial:\n--- serial ---\n%s--- partitioned ---\n%s",
+				cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf, seed, cfg.Domains, want, got)
+		}
+	})
+}
+
+// TestInjectLossDecorrelated is the fault-injection regression: InjectLoss
+// must derive each per-link stream with sim.DeriveSeed(seed, linkIndex), so
+// two links fed identical traffic drop DIFFERENT packets. (A correlated
+// version — every link seeded with the bare experiment seed — would drop
+// the same packet indices on every link, hiding loss-pattern diversity
+// from the loss-grid experiments.)
+func TestInjectLossDecorrelated(t *testing.T) {
+	eng := sim.NewEngine(1)
+	const packets = 400
+	delivered := make([]map[int]bool, 2)
+	links := make([]*fabric.Link, 2)
+	for i := range links {
+		i := i
+		delivered[i] = map[int]bool{}
+		links[i] = fabric.NewLink(eng, fmt.Sprintf("l%d", i), 100, 100*sim.Nanosecond, 0,
+			func(p fabric.Packet) { delivered[i][int(p.Dst)] = true })
+	}
+	c := &Cluster{Eng: eng, Links: links}
+	c.InjectLoss(42, 0.3)
+
+	for n := 0; n < packets; n++ {
+		for _, l := range links {
+			if err := l.Send(fabric.Packet{TC: 0, Bytes: 256, Dst: uint32(n)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eng.Run()
+
+	same := true
+	for n := 0; n < packets; n++ {
+		if delivered[0][n] != delivered[1][n] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("both links dropped the exact same packet indices — per-link fault RNGs are correlated")
+	}
+	for i, d := range delivered {
+		if lost := packets - len(d); lost == 0 || lost == packets {
+			t.Fatalf("link %d lost %d/%d packets — fault plan not active or degenerate", i, lost, packets)
+		}
+	}
+	// prob 0 removes the plans.
+	c.InjectLoss(42, 0)
+	if err := links[0].Send(fabric.Packet{TC: 0, Bytes: 64, Dst: 0}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+}

@@ -144,7 +144,7 @@ func (c *Cluster) Warm(conn *Conn, mr *verbs.MR) error {
 	if err := conn.QP.PostRead(^uint64(0), nil, mr.Describe(0), 8); err != nil {
 		return err
 	}
-	c.Eng.Run()
+	c.Run()
 	conn.CQ.Poll(conn.CQ.Len())
 	return nil
 }

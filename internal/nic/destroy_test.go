@@ -1,0 +1,54 @@
+package nic
+
+import (
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+// TestDestroyQPCancelsRetransmitTimer is the event-leak regression: a QP
+// torn down with a WQE outstanding must cancel its armed retransmit timer,
+// leaving no live event behind. Before DestroyQP, the timer (armed far in
+// the future by the lossless-default timeout) kept Engine quiesce checks
+// failing long after the run went idle.
+func TestDestroyQPCancelsRetransmitTimer(t *testing.T) {
+	eng, a, b, _, _ := linkedRig(t, CX5, 0)
+	if err := a.CreateQP(1, func(Completion) {}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateQP(2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConnectQP(1, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ConnectQP(2, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	mrBase := b.mrs[77].Base
+	if err := a.PostSend(1, &WQE{WRID: 1, Op: OpRead, RemoteKey: 77,
+		RemoteAddr: mrBase, Length: 2048, TC: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Run just long enough for the WQE to launch and arm the timer, but not
+	// long enough to complete (CX5 read on this rig takes ~2µs).
+	eng.RunUntil(sim.Time(1 * int64(sim.Microsecond)))
+	if eng.LivePending() == 0 {
+		t.Fatal("test rig never armed anything — timing assumption broken")
+	}
+	if err := a.DestroyQP(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.qps[1]; ok {
+		t.Fatal("QP still registered after DestroyQP")
+	}
+	// Let in-flight events resolve; the response arrives for a destroyed QP
+	// and is dropped. After that, nothing may remain live.
+	eng.Run()
+	if err := eng.DrainCheck(); err != nil {
+		t.Fatalf("retransmit timer leaked past DestroyQP: %v", err)
+	}
+	if err := a.DestroyQP(1); err == nil {
+		t.Fatal("double destroy did not error")
+	}
+}

@@ -250,6 +250,12 @@ type NIC struct {
 	numa int // NUMA node the NIC attaches to
 
 	links map[*NIC]*fabric.Link // egress link per peer NIC
+	// multi holds ECMP-style multipath link sets toward a peer (dual-homed
+	// hosts on a Clos fabric). The transmit path hashes the message's flow
+	// label over the set, so one QP pair sticks to one uplink and never
+	// reorders; links[peer] stays populated with the first path as the
+	// degenerate route.
+	multi map[*NIC][]*fabric.Link
 
 	tpu     *TPU
 	tpuSrv  *sim.Server   // the TPU pipeline serialises translations
@@ -419,20 +425,23 @@ func (n *NIC) TPU() *TPU { return n.tpu }
 func (n *NIC) Counters() *Counters {
 	var drops [8]uint64
 	var uniq []*fabric.Link
-	for _, l := range n.links {
-		dup := false
+	count := func(l *fabric.Link) {
 		for _, u := range uniq {
 			if u == l {
-				dup = true
-				break
+				return
 			}
-		}
-		if dup {
-			continue
 		}
 		uniq = append(uniq, l)
 		for tc := 0; tc < fabric.NumTCs; tc++ {
 			drops[tc] += l.Drops(tc) + l.FaultDrops(tc)
+		}
+	}
+	for _, l := range n.links {
+		count(l)
+	}
+	for _, ls := range n.multi {
+		for _, l := range ls {
+			count(l)
 		}
 	}
 	n.counters.WireDropsTC = drops
@@ -445,6 +454,22 @@ func (n *NIC) Counters() *Counters {
 // calls this when wiring a topology. In switched topologies several peers
 // share one physical uplink — the map simply stores the same *Link for each.
 func (n *NIC) AddPeerLink(peer *NIC, l *fabric.Link) { n.links[peer] = l }
+
+// AddPeerLinks attaches an ECMP group of transmit links toward a peer. A
+// single-link group behaves exactly like AddPeerLink; larger groups are
+// hashed per flow at transmit time.
+func (n *NIC) AddPeerLinks(peer *NIC, ls []*fabric.Link) {
+	if len(ls) == 0 {
+		panic(fmt.Sprintf("nic %s: empty multipath group", n.Name))
+	}
+	n.links[peer] = ls[0]
+	if len(ls) > 1 {
+		if n.multi == nil {
+			n.multi = make(map[*NIC][]*fabric.Link)
+		}
+		n.multi[peer] = ls
+	}
+}
 
 // SetAddr installs the NIC's fabric-level address (see the addr field).
 func (n *NIC) SetAddr(a uint32) { n.addr = a }
@@ -463,6 +488,30 @@ func (n *NIC) CreateQP(qpn uint32, onComplete func(Completion), onRecv func(Recv
 	// is preallocated so steady-state posting never grows it.
 	n.qps[qpn] = &qpState{qpn: qpn, onComplete: onComplete, onRecv: onRecv,
 		rewindEpoch: ^uint64(0), outstanding: make([]*pending, 0, 64)}
+	return nil
+}
+
+// DestroyQP tears down a queue pair: the armed retransmit timer is
+// cancelled (leaving it would hold a live event past quiesce — exactly the
+// leak the parallel barrier's DrainCheck flags), outstanding WQEs are
+// abandoned without completions (matching ibv_destroy_qp, which flushes
+// nothing once the QP leaves RTS), and the QPN becomes reusable. In-flight
+// messages referencing the QP resolve against the map and are dropped on
+// arrival.
+func (n *NIC) DestroyQP(qpn uint32) error {
+	qp, ok := n.qps[qpn]
+	if !ok {
+		return fmt.Errorf("nic %s: unknown QP %d", n.Name, qpn)
+	}
+	qp.rtxTimer.Cancel()
+	qp.rtxTimer = sim.Event{}
+	// Drop the tracking entries but do not recycle the pendings or their
+	// messages: responses may still be in flight holding references.
+	for _, p := range qp.outstanding {
+		delete(n.pend, p.seq)
+	}
+	qp.outstanding = nil
+	delete(n.qps, qpn)
 	return nil
 }
 
@@ -626,7 +675,11 @@ const pfcXOFF = 32
 // strict priority between them is Key Finding 3.
 func (n *NIC) transmit(dst *NIC, m *Message, ring int) {
 	bytes := n.wireBytes(m)
+	flow := flowLabel(m.SrcQPN, m.DstQPN)
 	link := n.links[dst]
+	if ml := n.multi[dst]; len(ml) > 1 {
+		link = ml[flow%uint32(len(ml))]
+	}
 	ser := sim.Duration(0)
 	if link != nil {
 		ser = link.SerializationDelay(bytes)
@@ -660,7 +713,7 @@ func (n *NIC) transmit(dst *NIC, m *Message, ring int) {
 		}
 		env := n.getEnv()
 		env.dst, env.msg, env.frames = dst, m, frames
-		if err := link.Send(fabric.Packet{TC: m.TC, Bytes: bytes, Dst: dst.addr, Payload: env}); err != nil {
+		if err := link.Send(fabric.Packet{TC: m.TC, Bytes: bytes, Dst: dst.addr, Flow: flow, Payload: env}); err != nil {
 			// Tail drop at the egress queue: the packet never reaches the
 			// wire. The RC transport recovers it — a lost request draws a
 			// NAK-seq or a retransmit timeout, a lost response a duplicate
@@ -670,6 +723,15 @@ func (n *NIC) transmit(dst *NIC, m *Message, ring int) {
 			return
 		}
 	})
+}
+
+// flowLabel derives the packet flow label from the QP pair. Requests and
+// responses of one connection get distinct labels (the pair is reversed),
+// which is fine: ECMP only needs each direction internally ordered. The
+// multiplier spreads near-sequential QPNs; switches avalanche the label
+// again before the port pick.
+func flowLabel(srcQPN, dstQPN uint32) uint32 {
+	return srcQPN*2654435761 + dstQPN
 }
 
 // envelope routes a fabric packet to the destination NIC. When wire

@@ -51,6 +51,12 @@ func NewTPU(p Profile, rng *rand.Rand) *TPU {
 // probe it).
 func (t *TPU) MTT() *Cache { return t.mtt }
 
+// ReseedNoise gives the TPU a private jitter stream in place of the shared
+// engine RNG it was built with. Partitioned topologies reseed every NIC
+// from (seed, host index) so jitter draws are identical regardless of how
+// hosts are split across engine domains.
+func (t *TPU) ReseedNoise(seed int64) { t.noise.Reseed(seed) }
+
 // Request describes one translation: which MR (by key), the offset of the
 // access within the MR, the access length, and the MR's base address and
 // page size for MTT indexing.

@@ -1,0 +1,254 @@
+package parallel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/fabric"
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+const prop = 100 * sim.Nanosecond
+
+type arrival struct {
+	At  sim.Time
+	Dst uint32
+}
+
+// TestPingPongLatency checks the end-to-end timing of a two-domain
+// request/response exchange: every hop crosses a channel with lookahead
+// prop, so the response lands exactly 2*prop after the request left.
+func TestPingPongLatency(t *testing.T) {
+	g := NewGroup()
+	a := g.AddDomain(sim.NewEngine(1))
+	b := g.AddDomain(sim.NewEngine(1))
+
+	var gotB, gotA []arrival
+	var ab, ba *Chan
+	ab = g.Connect(a, b, prop, func(p fabric.Packet) {
+		gotB = append(gotB, arrival{b.Eng.Now(), p.Dst})
+		ba.Send(b.Eng.Now().Add(prop), fabric.Packet{Dst: p.Dst + 1000})
+	})
+	ba = g.Connect(b, a, prop, func(p fabric.Packet) {
+		gotA = append(gotA, arrival{a.Eng.Now(), p.Dst})
+	})
+
+	sends := []sim.Time{sim.Time(10 * sim.Nanosecond), sim.Time(450 * sim.Nanosecond), sim.Time(451 * sim.Nanosecond)}
+	for i, at := range sends {
+		i, at := uint32(i), at
+		a.Eng.At(at, func() { ab.Send(a.Eng.Now().Add(prop), fabric.Packet{Dst: i}) })
+	}
+	g.Run()
+
+	wantB := make([]arrival, len(sends))
+	wantA := make([]arrival, len(sends))
+	for i, at := range sends {
+		wantB[i] = arrival{at.Add(prop), uint32(i)}
+		wantA[i] = arrival{at.Add(2 * prop), uint32(i) + 1000}
+	}
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Fatalf("B arrivals = %v, want %v", gotB, wantB)
+	}
+	if !reflect.DeepEqual(gotA, wantA) {
+		t.Fatalf("A arrivals = %v, want %v", gotA, wantA)
+	}
+	if err := g.DrainCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Now() != sends[2].Add(2*prop) {
+		t.Fatalf("group Now = %v, want %v", g.Now(), sends[2].Add(2*prop))
+	}
+}
+
+// chainRun wires a 3-domain chain A→B→C with a randomized send schedule and
+// returns C's arrival log. run drives the group (Run, or chunked RunUntil).
+func chainRun(t *testing.T, domains int, run func(g *Group, end sim.Time)) []arrival {
+	t.Helper()
+	g := NewGroup()
+	ds := make([]*Domain, domains)
+	for i := range ds {
+		ds[i] = g.AddDomain(sim.NewEngine(42))
+	}
+	var log []arrival
+	last := ds[len(ds)-1]
+	// Forward channels between consecutive domains; each hop re-sends after
+	// a per-hop propagation delay until the packet reaches the tail.
+	chans := make([]*Chan, len(ds)-1)
+	for i := len(ds) - 2; i >= 0; i-- {
+		i := i
+		var sink func(fabric.Packet)
+		if i == len(ds)-2 {
+			sink = func(p fabric.Packet) { log = append(log, arrival{last.Eng.Now(), p.Dst}) }
+		} else {
+			sink = func(p fabric.Packet) {
+				chans[i+1].Send(ds[i+1].Eng.Now().Add(prop), p)
+			}
+		}
+		chans[i] = g.Connect(ds[i], ds[i+1], prop, sink)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	end := sim.Time(0)
+	for k := 0; k < 200; k++ {
+		at := sim.Time(rng.Int63n(int64(5 * sim.Microsecond)))
+		k := uint32(k)
+		ds[0].Eng.At(at, func() { chans[0].Send(ds[0].Eng.Now().Add(prop), fabric.Packet{Dst: k}) })
+		if e := at.Add(sim.Duration(domains-1) * prop); e > end {
+			end = e
+		}
+	}
+	run(g, end)
+	if err := g.DrainCheck(); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestChainMatchesSerialSchedule compares a 3-domain partitioned run
+// against the analytically known serial result (each packet arrives
+// source-time + 2*prop, in (time, injection-order) order), and checks that
+// chunked RunUntil driving is equivalent to a single Run.
+func TestChainMatchesSerialSchedule(t *testing.T) {
+	full := chainRun(t, 3, func(g *Group, end sim.Time) { g.Run() })
+
+	chunked := chainRun(t, 3, func(g *Group, end sim.Time) {
+		step := 777 * sim.Nanosecond
+		for at := sim.Time(0); at < end; at = at.Add(step) {
+			g.RunUntil(at)
+		}
+		g.RunUntil(end)
+		g.Run()
+	})
+	if !reflect.DeepEqual(full, chunked) {
+		t.Fatalf("chunked RunUntil diverged from Run:\n full   = %v\n chunked= %v", full, chunked)
+	}
+
+	again := chainRun(t, 3, func(g *Group, end sim.Time) { g.Run() })
+	if !reflect.DeepEqual(full, again) {
+		t.Fatal("two identical partitioned runs diverged — scheduling is nondeterministic")
+	}
+
+	// Analytic serial reference: arrivals sorted by (time, injection order).
+	if len(full) != 200 {
+		t.Fatalf("lost packets: %d arrivals, want 200", len(full))
+	}
+	for i := 1; i < len(full); i++ {
+		if full[i].At < full[i-1].At {
+			t.Fatalf("arrivals out of time order at %d: %v after %v", i, full[i], full[i-1])
+		}
+	}
+}
+
+// TestPauseRelayTiming checks that a staged pause/resume pair lands on the
+// destination-owned link at exactly the requested virtual times.
+func TestPauseRelayTiming(t *testing.T) {
+	g := NewGroup()
+	a := g.AddDomain(sim.NewEngine(1))
+	b := g.AddDomain(sim.NewEngine(1))
+	ch := g.Connect(a, b, prop, func(fabric.Packet) {})
+	g.Connect(b, a, prop, func(fabric.Packet) {}) // reverse, unused
+
+	// A destination-owned link whose pause state the relay manipulates.
+	link := fabric.NewLink(b.Eng, "trunk", 100, prop, 0, func(fabric.Packet) {})
+
+	var pausedAt, resumedAt sim.Time
+	a.Eng.At(sim.Time(10*sim.Nanosecond), func() {
+		ch.SendPause(a.Eng.Now().Add(prop), link, 3, true)
+	})
+	a.Eng.At(sim.Time(500*sim.Nanosecond), func() {
+		ch.SendPause(a.Eng.Now().Add(prop), link, 3, false)
+	})
+	// Destination-side probes straddling the expected transitions.
+	b.Eng.At(sim.Time(109*sim.Nanosecond), func() {
+		if link.PausedTC(3) {
+			t.Error("link paused before the relay delay elapsed")
+		}
+	})
+	b.Eng.At(sim.Time(111*sim.Nanosecond), func() {
+		if !link.PausedTC(3) {
+			t.Error("link not paused after relay delivery")
+		}
+		pausedAt = b.Eng.Now()
+	})
+	b.Eng.At(sim.Time(601*sim.Nanosecond), func() {
+		if link.PausedTC(3) {
+			t.Error("link still paused after relay resume")
+		}
+		resumedAt = b.Eng.Now()
+	})
+	g.Run()
+	if pausedAt == 0 || resumedAt == 0 {
+		t.Fatal("probe events did not fire")
+	}
+}
+
+// TestSingleDomainDelegates pins the degenerate cases: one domain, or
+// several uncoupled domains, behave exactly like direct engine calls.
+func TestSingleDomainDelegates(t *testing.T) {
+	g := NewGroup()
+	d := g.AddDomain(sim.NewEngine(1))
+	fired := 0
+	d.Eng.At(10, func() { fired++ })
+	d.Eng.At(20, func() { fired++ })
+	g.RunUntil(15)
+	if fired != 1 || d.Eng.Now() != 15 {
+		t.Fatalf("single-domain RunUntil: fired=%d now=%v, want 1 and 15", fired, d.Eng.Now())
+	}
+	g.Run()
+	if fired != 2 {
+		t.Fatalf("single-domain Run: fired=%d, want 2", fired)
+	}
+
+	g2 := NewGroup()
+	d1 := g2.AddDomain(sim.NewEngine(1))
+	d2 := g2.AddDomain(sim.NewEngine(1))
+	n := 0
+	d1.Eng.At(5, func() { n++ })
+	d2.Eng.At(7, func() { n++ })
+	g2.Run() // no channels: independent domains run to completion
+	if n != 2 {
+		t.Fatalf("uncoupled domains: fired=%d, want 2", n)
+	}
+	if err := g2.DrainCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunUntilAdvancesAllClocks pins the serial RunUntil contract on the
+// group: after RunUntil(d) every domain clock reads d even if the domain
+// was idle (telemetry snapshots stamp At from the engine clock).
+func TestRunUntilAdvancesAllClocks(t *testing.T) {
+	g := NewGroup()
+	a := g.AddDomain(sim.NewEngine(1))
+	b := g.AddDomain(sim.NewEngine(1))
+	g.Connect(a, b, prop, func(fabric.Packet) {})
+	g.Connect(b, a, prop, func(fabric.Packet) {})
+	a.Eng.At(sim.Time(10*sim.Nanosecond), func() {})
+	deadline := 2 * sim.Microsecond
+	g.RunUntil(sim.Time(0).Add(deadline))
+	for i, d := range g.Domains() {
+		if d.Eng.Now() != sim.Time(deadline) {
+			t.Fatalf("domain %d clock = %v, want %v", i, d.Eng.Now(), deadline)
+		}
+	}
+}
+
+// TestConnectValidation pins the constructor guards.
+func TestConnectValidation(t *testing.T) {
+	g := NewGroup()
+	a := g.AddDomain(sim.NewEngine(1))
+	b := g.AddDomain(sim.NewEngine(1))
+	mustPanic(t, "zero lookahead", func() { g.Connect(a, b, 0, func(fabric.Packet) {}) })
+	mustPanic(t, "self loop", func() { g.Connect(a, a, prop, func(fabric.Packet) {}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}

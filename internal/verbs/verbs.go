@@ -352,6 +352,15 @@ func (qp *QP) PostRecv(buf []byte) error {
 	return qp.ctx.dev.PostRecv(qp.qpn, buf)
 }
 
+// Destroy tears the QP down on its NIC: the retransmit timer is cancelled,
+// outstanding WQEs are dropped without completions, and the QPN is freed.
+// Mirrors ibv_destroy_qp — responses still in flight for the old QPN are
+// silently discarded on arrival.
+func (qp *QP) Destroy() error {
+	qp.peer = nil
+	return qp.ctx.dev.DestroyQP(qp.qpn)
+}
+
 // Network wires contexts together with full-duplex links, and owns the
 // fabric address space: every context that joins a topology (directly or
 // through a switch) gets a unique address stamped into its NIC, which
@@ -427,6 +436,26 @@ func (n *Network) SetPath(src, dst *Context, firstHop *fabric.Link) {
 	n.Addr(dst) // ensure the destination is addressable before traffic flows
 	src.dev.AddPeerLink(dst.dev, firstHop)
 }
+
+// SetPathECMP makes dst reachable from src through any of the given
+// first-hop links, selected per flow by the NIC's flow label — the
+// host-side half of ECMP multipath. With one link it degrades to SetPath.
+func (n *Network) SetPathECMP(src, dst *Context, firstHops []*fabric.Link) {
+	n.Addr(dst)
+	src.dev.AddPeerLinks(dst.dev, firstHops)
+}
+
+// UseEngine switches the engine used for links and contexts the builder
+// creates from now on. Topology builders that partition a fabric across
+// several engines call this between components; single-engine callers never
+// need it. It returns the network so wiring code can chain it.
+func (n *Network) UseEngine(eng *sim.Engine) *Network {
+	n.eng = eng
+	return n
+}
+
+// Engine returns the engine new links are currently created on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
 
 // ConnectSwitches trunks two switches with a full-duplex pair of ports at
 // the given rate. Each switch's trunk port names the other switch's egress

@@ -9,11 +9,12 @@
 // Usage:
 //
 //	go test -run '^$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward|BenchmarkContextCacheHit)' \
-//	    -benchtime 1000x -benchmem ./internal/sim ./internal/trace ./internal/fabric ./internal/nic \
-//	    | go run ./scripts/benchguard.go
+//	    -benchtime 1000x -benchmem ./internal/sim ./internal/sim/parallel ./internal/trace ./internal/fabric ./internal/nic \
+//	    | go run ./scripts/benchguard.go -min 8
 //
 // The gate also fails when fewer guarded benchmarks appear than expected
-// (-min, default 7): a renamed or deleted benchmark must not silently drop
+// (-min, default 7; the Makefile passes 8 to include the inter-domain
+// channel ping-pong): a renamed or deleted benchmark must not silently drop
 // out of the guard.
 package main
 
