@@ -5,7 +5,7 @@
 //	ragnar [-nic cx4|cx5|cx6] [-full] [-seed N] <experiment> [...]
 //
 // Experiments: table1 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table5 lossgrid tenants exhaust pythia fig12 fig13 defense clos all
+// table5 lossgrid tenants exhaust nvmf pythia fig12 fig13 defense clos all
 //
 // The trace subcommand re-runs an experiment rig with the flight recorder
 // attached and exports the event stream:
@@ -41,7 +41,7 @@ func main() {
 	}
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|tenants|exhaust|pythia|fig12|fig13|defense|clos|all>")
+		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|tenants|exhaust|nvmf|pythia|fig12|fig13|defense|clos|all>")
 		fmt.Fprintln(os.Stderr, "       ragnar [flags] trace [-o out.json] [-text] <fig9|intermr|intramr|lossgrid>")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -61,7 +61,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "table5", "lossgrid", "tenants", "exhaust", "pythia", "fig12", "fig13", "defense", "clos"}
+			"fig9", "fig10", "fig11", "table5", "lossgrid", "tenants", "exhaust", "nvmf", "pythia", "fig12", "fig13", "defense", "clos"}
 	}
 	for _, exp := range args {
 		if err := run(exp, prof, *full, *seed, *perClass, *workers, *domains); err != nil {
@@ -181,6 +181,12 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers,
 			return err
 		}
 		return emit(r, r.Render)
+	case "nvmf":
+		r, err := experiments.Nvmf(prof, seed, workers)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
 	case "pythia":
 		r, err := experiments.PythiaCompare(64, seed)
 		if err != nil {
@@ -212,7 +218,7 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers,
 		}
 		return emit(r, r.Render)
 	default:
-		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 lossgrid tenants exhaust pythia defense clos)")
+		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 lossgrid tenants exhaust nvmf pythia defense clos)")
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/thu-has/ragnar/internal/appnvmf"
 	"github.com/thu-has/ragnar/internal/bitstream"
 	"github.com/thu-has/ragnar/internal/covert"
 	"github.com/thu-has/ragnar/internal/experiments"
@@ -22,7 +23,7 @@ import (
 // The bench subcommand is the repo's machine-readable perf baseline: it runs
 // the hot-path benchmarks through testing.Benchmark and emits one JSON
 // document per run, designed to be checked in as BENCH_<date>.json (see
-// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Eight probes:
+// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Nine probes:
 //
 //   - engine-schedule-fire: raw scheduler cost, one self-rescheduling event
 //     (the same steady-state pattern the bench-guard CI job gates at
@@ -42,6 +43,10 @@ import (
 //   - channel-inter-mr / channel-intra-mr: full covert-channel transmits —
 //     NIC + fabric + transport — with simulated events/sec derived from the
 //     engine's fired-event counter;
+//   - nvmf-io: a 1 ms slice of the NVMe-oF storage victim — command capsule
+//     SENDs, target data-phase WRITE/READ, completion capsules — the ULP hot
+//     path the nvmf attack cells stress, including the per-QP placement gate
+//     on the responder;
 //   - lossgrid: the heaviest composite experiment (retransmission paths hot).
 
 // benchSchema names the JSON layout so future sessions can evolve it without
@@ -246,6 +251,36 @@ func benchCmd(prof nic.Profile, seed int64, args []string) error {
 		})
 		doc.Benchmarks = append(doc.Benchmarks, record(ch.name, r, fired))
 	}
+
+	// NVMe-oF I/O steady state: one op runs the appnvmf victim rig for 1 ms
+	// of virtual time — initiator capsules, target data phase and completions
+	// over the RC transport — then drains. Events/sec from the engine's fired
+	// counter covers the whole stack (host DMA, NIC pipelines, fabric).
+	var ioFired uint64
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := lab.New(lab.Config{Profile: prof, Seed: seed + int64(i)})
+			tgt, err := appnvmf.NewTarget(c.Server, 2<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tq, err := tgt.Serve(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ini, err := appnvmf.NewInitiator(c.Clients[0], tq, appnvmf.DefaultWorkload(seed+int64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ini.Start()
+			c.RunFor(sim.Millisecond)
+			ini.Stop()
+			c.Run()
+			ioFired = c.Eng.Fired()
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("nvmf-io", r, ioFired))
 
 	r = testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()

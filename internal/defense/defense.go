@@ -58,6 +58,24 @@ func features(d Snapshot) map[string]float64 {
 	if d.RxCorrupt > 0 {
 		f["rx_corrupt"] = float64(d.RxCorrupt)
 	}
+	// Protocol-abuse observables (the NeVerMore surface), gated on non-zero
+	// like everything above. These are the markers that separate frame
+	// injection from benign loss: random drops produce retransmits and NAKs,
+	// but never a request for a QPN that was never created, a NAK whose gap
+	// head is not outstanding, or an ACK whose PSN disagrees with the
+	// request it claims to answer.
+	if d.RxBadQP > 0 {
+		f["bad_qp"] = float64(d.RxBadQP)
+	}
+	if d.InvalidNaks > 0 {
+		f["invalid_nak"] = float64(d.InvalidNaks)
+	}
+	if d.InvalidAcks > 0 {
+		f["invalid_ack"] = float64(d.InvalidAcks)
+	}
+	if d.RxBadPSN > 0 {
+		f["bad_psn"] = float64(d.RxBadPSN)
+	}
 	// Finite-resource (exhaustion) observables, again gated on non-zero so
 	// pre-exhaustion traces score exactly as before. These are the markers
 	// that separate resource exhaustion from plain bandwidth contention: a

@@ -155,6 +155,15 @@ type Link struct {
 	// serialization, fault injection) is unchanged.
 	remote func(at sim.Time, p Packet)
 
+	// adv, when set, is an on-path adversary (NeVerMore threat model): its
+	// Observe hook sees every frame that survives serialization and the fault
+	// decision, and Link.Inject lets it splice forged or replayed frames onto
+	// the wire. Nil on every benign link — the no-adversary fast path is a
+	// single nil check (benchmark-guarded at 0 allocs/op).
+	adv Adversary
+	// injected counts frames spliced onto the wire by Inject, per TC.
+	injected [NumTCs]uint64
+
 	// Telemetry, per TC.
 	txBytes   [NumTCs]uint64
 	txPackets [NumTCs]uint64
@@ -407,6 +416,9 @@ func (l *Link) finishTx() {
 		l.rec.Emit(trace.Event{At: int64(l.eng.Now()), Kind: trace.KindWireCorrupt,
 			Actor: l.recActor, TC: int8(p.TC), Val: uint64(p.Bytes)})
 	}
+	if l.adv != nil {
+		l.adv.Observe(l.eng.Now(), p)
+	}
 	if l.remote != nil {
 		l.remote(l.eng.Now().Add(l.propDelay), p)
 		l.drain()
@@ -416,6 +428,41 @@ func (l *Link) finishTx() {
 	l.eng.After(l.propDelay, l.propDone)
 	l.drain()
 }
+
+// Adversary is an on-path attacker tapped into one link direction — the
+// NeVerMore threat model of a compromised switch or machine-in-the-middle.
+// Observe fires for every frame that survives serialization and the fault
+// decision (what a port mirror would capture); the adversary forges traffic
+// by calling Link.Inject from inside Observe or from its own scheduled
+// events. The hook must never mutate the observed packet.
+type Adversary interface {
+	Observe(at sim.Time, p Packet)
+}
+
+// SetAdversary taps an adversary onto the link (nil clears it). Wiring time
+// only; with no adversary installed the per-packet cost is one nil check.
+func (l *Link) SetAdversary(a Adversary) { l.adv = a }
+
+// Inject splices a forged or replayed frame directly onto the wire,
+// bypassing the TC queues, the ETS scheduler and the serialization slot — an
+// adversary with its own line-rate port does not contend with the victim's
+// egress. The frame still traverses the propagation leg (or the cross-domain
+// hook), so it arrives propDelay from now, strictly after every frame already
+// in flight: injection can never reorder legitimate traffic, only interleave
+// with it. Injected frames are charged to a separate counter, not the tx
+// telemetry — a real mirror port would not see them leave this NIC.
+func (l *Link) Inject(p Packet) {
+	l.injected[p.TC&(NumTCs-1)]++
+	if l.remote != nil {
+		l.remote(l.eng.Now().Add(l.propDelay), p)
+		return
+	}
+	l.propPush(p)
+	l.eng.After(l.propDelay, l.propDone)
+}
+
+// Injected reports frames spliced in by Inject for one TC.
+func (l *Link) Injected(tc int) uint64 { return l.injected[tc&(NumTCs-1)] }
 
 // SetRemote installs (or, with nil, clears) the cross-domain propagation
 // hook. Wiring time only: the hook must deliver the packet to the original

@@ -144,6 +144,195 @@ func FuzzPSNWindow(f *testing.F) {
 	})
 }
 
+// scriptedAdversary is the fuzz-driven on-path attacker: it taps the
+// request link, and for every frame it observes it consumes two script bytes
+// deciding whether to forge a NAK or ACK at the requester, replay the
+// request at the responder, or spray a QP-guess — through the same
+// fabric.Link.Inject surface the nvmf experiment's adversaries use.
+type scriptedAdversary struct {
+	reqNIC, respNIC *NIC         // a (requester) and b (responder)
+	toReq, toResp   *fabric.Link // ba and ab
+	script          []byte
+	pos             int
+	guesses         uint64
+}
+
+func (s *scriptedAdversary) next() (byte, bool) {
+	if s.pos >= len(s.script) {
+		return 0, false
+	}
+	v := s.script[s.pos]
+	s.pos++
+	return v, true
+}
+
+func (s *scriptedAdversary) Observe(at sim.Time, p fabric.Packet) {
+	op, ok := s.next()
+	if !ok {
+		return
+	}
+	param, _ := s.next()
+	m, ok := SnoopPacket(p)
+	if !ok || m.IsResp {
+		return
+	}
+	switch op % 5 {
+	case 1: // forged NAK at the requester, AckPSN skewed by the script
+		s.toReq.Inject(ForgePacket(s.reqNIC, Message{
+			Op: m.Op, SrcQPN: m.DstQPN, DstQPN: m.SrcQPN, Seq: m.Seq,
+			IsResp: true, Status: StatusSeqNak, TC: m.TC,
+			PSN: m.PSN, AckPSN: (m.PSN + uint32(param)) & psnMask,
+		}))
+	case 2: // forged ACK: guessed Seq, or valid Seq with a wrong PSN
+		fm := Message{Op: m.Op, SrcQPN: m.DstQPN, DstQPN: m.SrcQPN,
+			IsResp: true, Status: StatusOK, TC: m.TC, PSN: m.PSN, AckPSN: m.PSN}
+		if param%2 == 0 {
+			fm.Seq = m.Seq + 1000 + uint64(param) // never a live Seq
+		} else {
+			fm.Seq = m.Seq
+			fm.PSN = (m.PSN + 1 + uint32(param%100)) & psnMask // wrong PSN
+		}
+		s.toReq.Inject(ForgePacket(s.reqNIC, fm))
+	case 3: // replay the captured request at the responder
+		if cp, ok := ReplayPacket(p); ok {
+			s.toResp.Inject(cp)
+		}
+	case 4: // QP-number guessing sweep frame (QPNs 100+ never exist)
+		s.guesses++
+		s.toResp.Inject(ForgePacket(s.respNIC, Message{
+			Op: OpWrite, SrcQPN: m.SrcQPN, DstQPN: 100 + uint32(param),
+			RKey: m.RKey, RemoteAddr: m.RemoteAddr, Length: 8,
+			Seq: 5000 + uint64(s.pos), PSN: uint32(param), TC: m.TC,
+		}))
+	}
+}
+
+// FuzzAdversarialFrames interleaves legitimate traffic with script-driven
+// forged and replayed frames under fuzzer-chosen wire loss. Whatever the
+// adversary does within this envelope (forged NAKs with arbitrary AckPSN
+// skew, forged ACKs that guess either the Seq or the PSN, request replays,
+// QP-guessing sprays), the reliability invariants must hold:
+//
+//   - every posted WQE completes exactly once — no duplicate CQEs, and no
+//     forged CQE (the forged ACKs here never carry both a live Seq and its
+//     exact PSN, which is the only combination that can fake a completion);
+//   - byte conservation: on an all-OK run responder memory saw each posted
+//     byte exactly once, replays notwithstanding;
+//   - the QP either completes everything or lands in StatusRetryExcErr with
+//     further posts rejected;
+//   - every QP-guess frame is charged to RxBadQP.
+func FuzzAdversarialFrames(f *testing.F) {
+	f.Add(int64(1), int64(2), uint16(0), uint8(8), uint8(64), []byte{})
+	f.Add(int64(3), int64(4), uint16(0), uint8(12), uint8(128), []byte{1, 200, 2, 7, 3, 0, 4, 5})
+	f.Add(int64(5), int64(6), uint16(1500), uint8(16), uint8(32), []byte{1, 0, 1, 1, 1, 255, 2, 2, 2, 3})
+	f.Add(int64(7), int64(8), uint16(3000), uint8(24), uint8(255), []byte{3, 0, 3, 0, 4, 1, 4, 2, 1, 100})
+	f.Fuzz(func(t *testing.T, seedAB, seedBA int64, lossRaw uint16,
+		msgsRaw, sizeRaw uint8, script []byte) {
+		loss := float64(lossRaw%4000) / 10000 // 0 .. 0.3999 per direction
+		msgs := 1 + int(msgsRaw%32)
+		msgLen := 1 + int(sizeRaw)
+
+		eng := sim.NewEngine(1)
+		hA := host.New(eng, host.H2)
+		hB := host.New(eng, host.H3)
+		a := New(eng, "a", CX4, hA, 0)
+		b := New(eng, "b", CX4, hB, 0)
+		ab := fabric.NewLink(eng, "a->b", CX4.LineRateGbps, 200*sim.Nanosecond, 0, Deliver)
+		ba := fabric.NewLink(eng, "b->a", CX4.LineRateGbps, 200*sim.Nanosecond, 0, Deliver)
+		a.AddPeerLink(b, ab)
+		b.AddPeerLink(a, ba)
+		planAB := fabric.FaultPlan{Seed: seedAB}
+		planBA := fabric.FaultPlan{Seed: seedBA}
+		for tc := range planAB.DropProb {
+			planAB.DropProb[tc] = loss
+			planBA.DropProb[tc] = loss
+		}
+		ab.SetFaultPlan(&planAB)
+		ba.SetFaultPlan(&planBA)
+
+		region, err := hB.Alloc(2<<20, host.Page2M, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.RegisterMR(MRInfo{Key: 77, Base: region.Base(), Size: region.Size(),
+			Region: region, PageSize: uint64(host.Page2M), RemoteWrite: true}); err != nil {
+			t.Fatal(err)
+		}
+		adv := &scriptedAdversary{reqNIC: a, respNIC: b, toReq: ba, toResp: ab, script: script}
+		ab.SetAdversary(adv)
+
+		completed := map[uint64]int{}
+		okComps, errComps := 0, 0
+		if err := a.CreateQP(1, func(c Completion) {
+			completed[c.WRID]++
+			switch c.Status {
+			case StatusOK:
+				okComps++
+			case StatusRetryExcErr:
+				errComps++
+			default:
+				t.Fatalf("unexpected completion status %v", c.Status)
+			}
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+		recvBytes := 0
+		if err := b.CreateQP(2, nil, func(ev RecvEvent) { recvBytes += ev.Bytes }); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.ConnectQP(1, b, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.ConnectQP(2, a, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetQPRetry(1, 5*sim.Microsecond, 60); err != nil {
+			t.Fatal(err)
+		}
+
+		data := make([]byte, msgLen)
+		for i := 0; i < msgs; i++ {
+			if err := a.PostSend(1, &WQE{WRID: uint64(i), Op: OpWrite, LocalData: data,
+				RemoteKey: 77, RemoteAddr: region.Base(), Length: msgLen}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+
+		if got := okComps + errComps; got != msgs {
+			t.Fatalf("completions = %d (ok %d, err %d), posted %d", got, okComps, errComps, msgs)
+		}
+		for wrid, n := range completed {
+			if n != 1 {
+				t.Fatalf("WRID %d completed %d times", wrid, n)
+			}
+		}
+		c := b.Counters()
+		if c.RxBadQP != adv.guesses {
+			t.Fatalf("RxBadQP = %d, injected %d QP guesses", c.RxBadQP, adv.guesses)
+		}
+		if errComps > 0 {
+			if !a.QPFailed(1) {
+				t.Fatal("error CQEs delivered without the QP marked failed")
+			}
+			if err := a.PostSend(1, &WQE{WRID: 999, Op: OpWrite, LocalData: data,
+				RemoteKey: 77, RemoteAddr: region.Base(), Length: msgLen}); err == nil {
+				t.Fatal("PostSend on a failed QP succeeded")
+			}
+			return
+		}
+		if n := len(a.qps[1].outstanding); n != 0 {
+			t.Fatalf("transport window still holds %d entries after drain", n)
+		}
+		if got, want := b.qps[2].epsn, a.qps[1].nextPSN; got != want {
+			t.Fatalf("responder ePSN %#x != requester nextPSN %#x", got, want)
+		}
+		if recvBytes != msgs*msgLen {
+			t.Fatalf("responder received %d bytes, want %d (conservation under replay)", recvBytes, msgs*msgLen)
+		}
+	})
+}
+
 // FuzzContextCache fuzzes the ICM context cache against a reference model:
 // a brute-force map plus an MRU-ordered slice. Random Access/Evict/Flush
 // sequences over a fuzzer-chosen capacity must preserve the invariants the

@@ -172,6 +172,41 @@ type qpState struct {
 	atomicReplayOK  bool   // duplicate-atomic replay record (IB replay buffer)
 	atomicReplayPSN uint32
 	atomicReplayVal uint64
+
+	// In-order placement gate (the IB responder memory-ordering rule): the
+	// ULP-visible effect of each accepted request — memory placement, recv
+	// delivery, the response — fires in PSN-acceptance order, even though
+	// the execution pipelines behind it (TPU, multi-channel host DMA) can
+	// finish out of order. Without this a 16-byte SEND overtakes a 16 KB
+	// WRITE accepted just before it, and an upper layer that treats the
+	// SEND as a commit record observes the write before its data landed.
+	placeNext uint64           // next ticket, assigned at PSN acceptance
+	placeHead uint64           // next ticket allowed to fire
+	placeWait map[uint64]func() // finished effects blocked behind earlier tickets
+}
+
+// place fires a finished request's visible effect as soon as every
+// earlier-accepted request on this QP has fired its own, queueing it
+// otherwise. Tickets are dense, so the wait map drains strictly in order.
+func (qp *qpState) place(ticket uint64, fn func()) {
+	if ticket != qp.placeHead {
+		if qp.placeWait == nil {
+			qp.placeWait = map[uint64]func(){}
+		}
+		qp.placeWait[ticket] = fn
+		return
+	}
+	fn()
+	qp.placeHead++
+	for {
+		next, ok := qp.placeWait[qp.placeHead]
+		if !ok {
+			return
+		}
+		delete(qp.placeWait, qp.placeHead)
+		next()
+		qp.placeHead++
+	}
 }
 
 type pending struct {
@@ -219,6 +254,17 @@ type Counters struct {
 	SeqNaks     uint64 // NAK-sequence-errors sent by the responder
 	RetryExc    uint64 // QPs that exhausted their retry budget
 	RxCorrupt   uint64 // inbound packets discarded for corruption (ICRC)
+
+	// Abuse observables (the NeVerMore surface). All three are structurally
+	// zero under benign operation — random wire loss produces retransmits,
+	// NAKs and duplicate ACKs, but never a request for a nonexistent QP, a
+	// NAK whose gap head is not outstanding, or a frame at exactly half the
+	// PSN space — which is what lets defense.MetricsFeatures separate
+	// protocol abuse from the loss grid's benign degradation.
+	RxBadQP     uint64 // requests addressed to a QPN this NIC never created
+	InvalidNaks uint64 // NAK-seq rejected: gap head not an outstanding PSN
+	InvalidAcks uint64 // responses whose PSN disagrees with the pending request
+	RxBadPSN    uint64 // requests at the unordered half-space PSN distance
 
 	// Finite-resource observables (the exhaustion surface): ICM context
 	// cache traffic, per-page translation misses and completion-queue
@@ -801,11 +847,18 @@ func (n *NIC) handleRequest(m *Message) {
 	// gap draws one NAK-seq per stall, and a duplicate (retransmission of an
 	// executed request) is replayed without re-execution where the verb
 	// demands it. On a lossless run every request takes the first arm.
+	// Visible-effect ordering: requests accepted in PSN order take a
+	// placement ticket; duplicates and unroutable frames run ungated (they
+	// carry no new data, so nothing can be observed out of order).
+	place := func(fn func()) { fn() }
 	if qp := n.qps[m.DstQPN]; qp != nil {
 		switch {
 		case m.PSN == qp.epsn:
 			qp.epsn = (qp.epsn + 1) & psnMask
 			qp.nakArmed = false
+			ticket := qp.placeNext
+			qp.placeNext++
+			place = func(fn func()) { qp.place(ticket, fn) }
 		case psnAfter(m.PSN, qp.epsn):
 			// A gap: an earlier request was lost. NAK once per stall; later
 			// out-of-order arrivals are silently discarded until the stream
@@ -819,12 +872,22 @@ func (n *NIC) handleRequest(m *Message) {
 			}
 			return
 		default:
+			// Neither in order nor ahead. At exactly half the PSN space the
+			// circular order is undefined (psnAfter is false both ways), so
+			// the frame is neither a future request nor a duplicate of an
+			// executed one — treating it as a duplicate would let a forged
+			// frame draw an ACK for a request the responder never executed.
+			// Discard it, counted for the abuse monitors.
+			if psnHalfAway(m.PSN, qp.epsn) {
+				n.counters.RxBadPSN++
+				return
+			}
 			n.counters.DupReqs++
 			if n.replayDuplicate(qp, m) {
 				return
 			}
-			// Duplicate READ (or atomic without a replay record): RC
-			// re-executes it from scratch through the normal path below.
+			// Duplicate READ: RC re-executes it from scratch through the
+			// normal path below (idempotent; atomics never take this path).
 		}
 	}
 	pkts := (m.Length + n.prof.MTU - 1) / n.prof.MTU
@@ -843,58 +906,66 @@ func (n *NIC) handleRequest(m *Message) {
 		}
 		qp := n.qps[m.DstQPN]
 		if qp == nil {
+			// Unknown QPN: the tell-tale of a QP-number-guessing sweep.
+			// Benign traffic never produces one (connections are wired before
+			// traffic flows), so the counter is a pure abuse marker.
+			n.counters.RxBadQP++
 			n.eng.After(extra, func() { n.respond(m, StatusBadQP, nil, 0) })
 			return
 		}
 		switch m.Op {
 		case OpSend:
-			n.eng.After(extra, func() { n.completeSend(qp, m) })
+			n.eng.After(extra, func() { n.completeSend(qp, m, place) })
 		case OpWrite, OpRead, OpAtomicFAA, OpAtomicCAS:
-			n.eng.After(extra, func() { n.oneSided(qp, m) })
+			n.eng.After(extra, func() { n.oneSided(qp, m, place) })
 		default:
-			n.eng.After(extra, func() { n.respond(m, StatusRemoteAccessError, nil, 0) })
+			n.eng.After(extra, func() { place(func() { n.respond(m, StatusRemoteAccessError, nil, 0) }) })
 		}
 	})
 }
 
-// completeSend lands an inbound SEND in the QP's receive queue.
-func (n *NIC) completeSend(qp *qpState, m *Message) {
+// completeSend lands an inbound SEND in the QP's receive queue. The recv
+// delivery waits behind the placement gate: a SEND used as a commit record
+// must never be observed before the data of writes accepted ahead of it.
+func (n *NIC) completeSend(qp *qpState, m *Message, place func(func())) {
 	n.dma(m.Length, nil, func() {
-		var buf []byte
-		if len(qp.recvQueue) > 0 {
-			buf = qp.recvQueue[0]
-			qp.recvQueue = qp.recvQueue[1:]
-			copy(buf, m.Data)
-		}
-		if qp.onRecv != nil {
-			qp.onRecv(RecvEvent{QPN: qp.qpn, Op: OpSend, Bytes: m.Length, Data: m.Data, SrcQPN: m.SrcQPN})
-		}
-		n.respond(m, StatusOK, nil, 0)
+		place(func() {
+			var buf []byte
+			if len(qp.recvQueue) > 0 {
+				buf = qp.recvQueue[0]
+				qp.recvQueue = qp.recvQueue[1:]
+				copy(buf, m.Data)
+			}
+			if qp.onRecv != nil {
+				qp.onRecv(RecvEvent{QPN: qp.qpn, Op: OpSend, Bytes: m.Length, Data: m.Data, SrcQPN: m.SrcQPN})
+			}
+			n.respond(m, StatusOK, nil, 0)
+		})
 	})
 }
 
 // oneSided executes WRITE/READ/ATOMIC against a registered MR through the
 // TPU and host DMA.
-func (n *NIC) oneSided(qp *qpState, m *Message) {
+func (n *NIC) oneSided(qp *qpState, m *Message, place func(func())) {
 	mr := n.mrs[m.RKey]
 	if mr == nil || m.RemoteAddr < mr.Base || m.RemoteAddr+uint64(max(m.Length, 1)) > mr.Base+mr.Size {
-		n.respond(m, StatusRemoteAccessError, nil, 0)
+		place(func() { n.respond(m, StatusRemoteAccessError, nil, 0) })
 		return
 	}
 	switch m.Op {
 	case OpRead:
 		if !mr.RemoteRead {
-			n.respond(m, StatusRemoteAccessError, nil, 0)
+			place(func() { n.respond(m, StatusRemoteAccessError, nil, 0) })
 			return
 		}
 	case OpWrite:
 		if !mr.RemoteWrite {
-			n.respond(m, StatusRemoteAccessError, nil, 0)
+			place(func() { n.respond(m, StatusRemoteAccessError, nil, 0) })
 			return
 		}
 	default:
 		if !mr.Atomic {
-			n.respond(m, StatusRemoteAccessError, nil, 0)
+			place(func() { n.respond(m, StatusRemoteAccessError, nil, 0) })
 			return
 		}
 	}
@@ -916,55 +987,61 @@ func (n *NIC) oneSided(qp *qpState, m *Message) {
 		switch m.Op {
 		case OpWrite:
 			n.dma(m.Length, mr.Region, func() {
-				if mr.Region != nil && m.Data != nil {
-					if err := mr.Region.WriteAt(offset, m.Data[:min(len(m.Data), m.Length)]); err != nil {
-						n.respond(m, StatusRemoteAccessError, nil, 0)
-						return
+				place(func() {
+					if mr.Region != nil && m.Data != nil {
+						if err := mr.Region.WriteAt(offset, m.Data[:min(len(m.Data), m.Length)]); err != nil {
+							n.respond(m, StatusRemoteAccessError, nil, 0)
+							return
+						}
 					}
-				}
-				if qp.onRecv != nil {
-					qp.onRecv(RecvEvent{QPN: qp.qpn, Op: OpWrite, Bytes: m.Length, SrcQPN: m.SrcQPN})
-				}
-				n.respond(m, StatusOK, nil, 0)
+					if qp.onRecv != nil {
+						qp.onRecv(RecvEvent{QPN: qp.qpn, Op: OpWrite, Bytes: m.Length, SrcQPN: m.SrcQPN})
+					}
+					n.respond(m, StatusOK, nil, 0)
+				})
 			})
 		case OpRead:
 			n.dma(m.Length, mr.Region, func() {
-				var data []byte
-				if mr.Region != nil {
-					data = make([]byte, m.Length)
-					if err := mr.Region.ReadAt(offset, data); err != nil {
-						n.respond(m, StatusRemoteAccessError, nil, 0)
-						return
+				place(func() {
+					var data []byte
+					if mr.Region != nil {
+						data = make([]byte, m.Length)
+						if err := mr.Region.ReadAt(offset, data); err != nil {
+							n.respond(m, StatusRemoteAccessError, nil, 0)
+							return
+						}
 					}
-				}
-				n.respond(m, StatusOK, data, 0)
+					n.respond(m, StatusOK, data, 0)
+				})
 			})
 		case OpAtomicFAA, OpAtomicCAS:
 			n.eng.After(n.prof.AtomicExtra, func() {
 				n.dma(8, mr.Region, func() {
-					var orig uint64
-					if mr.Region != nil && offset+8 <= mr.Size {
-						b := make([]byte, 8)
-						mr.Region.ReadAt(offset, b)
-						orig = le64(b)
-						var newVal uint64
-						if m.Op == OpAtomicFAA {
-							newVal = orig + m.CompareAdd
-						} else if orig == m.CompareAdd {
-							newVal = m.Swap
-						} else {
-							newVal = orig
+					place(func() {
+						var orig uint64
+						if mr.Region != nil && offset+8 <= mr.Size {
+							b := make([]byte, 8)
+							mr.Region.ReadAt(offset, b)
+							orig = le64(b)
+							var newVal uint64
+							if m.Op == OpAtomicFAA {
+								newVal = orig + m.CompareAdd
+							} else if orig == m.CompareAdd {
+								newVal = m.Swap
+							} else {
+								newVal = orig
+							}
+							put64(b, newVal)
+							mr.Region.WriteAt(offset, b)
 						}
-						put64(b, newVal)
-						mr.Region.WriteAt(offset, b)
-					}
-					// Record the result for duplicate replay: a
-					// retransmitted atomic must not execute twice (the IB
-					// responder keeps a one-deep atomic replay buffer).
-					qp.atomicReplayOK = true
-					qp.atomicReplayPSN = m.PSN
-					qp.atomicReplayVal = orig
-					n.respond(m, StatusOK, nil, orig)
+						// Record the result for duplicate replay: a
+						// retransmitted atomic must not execute twice (the IB
+						// responder keeps a one-deep atomic replay buffer).
+						qp.atomicReplayOK = true
+						qp.atomicReplayPSN = m.PSN
+						qp.atomicReplayVal = orig
+						n.respond(m, StatusOK, nil, orig)
+					})
 				})
 			})
 		}
@@ -1023,6 +1100,16 @@ func (n *NIC) handleResponse(m *Message) {
 		n.putMsg(m)
 		return
 	}
+	if m.PSN != p.psn {
+		// A response naming a pending Seq but the wrong PSN: benign
+		// responders echo the request's PSN exactly (retransmissions reuse
+		// it), so only a forged ACK can disagree. Discard it — completion
+		// forgery requires knowing both the Seq and the PSN, which means
+		// snooping the wire, not guessing (the conformance suite pins this).
+		n.counters.InvalidAcks++
+		n.putMsg(m)
+		return
+	}
 	delete(n.pend, m.Seq)
 	if qp != nil {
 		qp.removeOutstanding(p)
@@ -1032,14 +1119,16 @@ func (n *NIC) handleResponse(m *Message) {
 	}
 	st, result, data := m.Status, m.CompareAdd, m.Data
 	n.putMsg(m)
-	if p.msg != nil && p.retransmits == 0 {
-		// The request went onto the wire exactly once and its response is
-		// here, so the responder is done with it and no duplicate is in
-		// flight: safe to recycle. A retransmitted request may still have a
-		// copy traversing the fabric — those stay with the GC.
-		n.putMsg(p.msg)
-		p.msg = nil
-	}
+	// The request frame is NOT recycled here, even when it was launched
+	// exactly once: an ACK proves only that a response exists, not that the
+	// responder is finished with the frame. The responder's execution
+	// pipeline (TPU, DMA) holds the request across deferred stages and
+	// replies only afterwards — but a forged ACK can arrive while that
+	// execution (or the request itself) is still in flight, and zeroing the
+	// frame under it corrupts the simulation. Request frames stay with the
+	// GC; only response frames, which the requester provably owns once
+	// delivered, go back on the free list.
+	p.msg = nil
 	n.rxPU.Submit(n.prof.RxPUTime, 0, func() {
 		finish := func() {
 			n.hostDMA.Submit(n.dmaTransferTime(32)+n.prof.CQEWriteTime, 0, func() {

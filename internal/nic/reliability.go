@@ -21,11 +21,25 @@ import (
 // psnMask bounds the 24-bit packet sequence number space.
 const psnMask = 1<<24 - 1
 
-// psnAfter reports a > b in the circular 24-bit PSN order (half the space
-// ahead counts as "after", exactly like IB PSN comparison).
+// psnAfter reports a > b in the circular 24-bit PSN order: a is "after" b
+// exactly when (a-b) mod 2^24 lies in [1, 2^23), like IB PSN comparison.
+// The relation is deliberately not total — at a distance of exactly 2^23
+// (half the space) neither PSN is after the other, so psnAfter(a,b) and
+// psnAfter(b,a) are both false. Callers must handle that unordered edge
+// explicitly: the responder discards such frames (see handleRequest) rather
+// than letting them fall into the duplicate arm, because "duplicate" implies
+// "already executed" and a frame exactly half the space away never was —
+// replay-ACKing it would forge a completion. TestPSNHalfSpaceConvention pins
+// this convention.
 func psnAfter(a, b uint32) bool {
 	d := (a - b) & psnMask
 	return d != 0 && d < 1<<23
+}
+
+// psnHalfAway reports that a sits at exactly half the PSN space from b —
+// the unordered edge of psnAfter where neither direction is "after".
+func psnHalfAway(a, b uint32) bool {
+	return (a-b)&psnMask == 1<<23
 }
 
 // SetQPRetry overrides the retransmission parameters of one QP, mirroring
@@ -134,8 +148,29 @@ func (n *NIC) onRetryTimeout(qp *qpState) {
 // Only one rewind happens per stall — rewindEpoch pins the rewind to the
 // current progressEpoch so a burst of stale NAKs cannot multiply the
 // retransmissions — and the timer remains the backstop.
+//
+// The NAK is validated before it may consume the per-epoch rewind: a genuine
+// NAK-seq names the last in-order PSN the responder received, so the head of
+// the gap — (AckPSN+1) mod 2^24 — must be a PSN this requester still has
+// outstanding. A NAK failing that check is dropped and counted (InvalidNaks)
+// WITHOUT consuming the rewind epoch; without the check a forged NAK with a
+// garbage AckPSN would burn the single rewind on a no-op resend and leave a
+// later genuine NAK ignored, stretching recovery from one RTT to the full
+// retransmit timeout (the NeVerMore NAK-spoofing amplifier).
 func (n *NIC) handleSeqNak(qp *qpState, m *Message) {
 	if qp.failed {
+		return
+	}
+	head := (m.AckPSN + 1) & psnMask
+	valid := false
+	for _, p := range qp.outstanding {
+		if p.psn == head {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		n.counters.InvalidNaks++
 		return
 	}
 	if qp.rewindEpoch == qp.progressEpoch {
@@ -224,9 +259,16 @@ func (n *NIC) respondNak(req *Message, ackPSN uint32) {
 // replayDuplicate handles a retransmitted request whose original was already
 // executed. WRITE/SEND re-ACK without touching memory or the receive queue;
 // atomics replay the recorded result (never execute twice). It returns false
-// for ops the responder must re-execute from scratch (READ, or an atomic
-// whose replay record was displaced), which RC permits because they are
-// idempotent from the requester's point of view.
+// only for ops the responder may safely re-execute from scratch — READ,
+// which is idempotent from the requester's point of view.
+//
+// A duplicate atomic whose one-deep replay record has been displaced by a
+// newer atomic is NOT re-executable: atomics mutate memory, so running the
+// FAA/CAS again would apply it twice (the latent double-apply this layer
+// shipped with before the adversarial suite pinned it). Such a duplicate is
+// handled by discarding it silently — the requester recovers through the
+// original response still in flight or, failing that, the retransmit
+// timeout, exactly as IB responders with an exhausted replay buffer behave.
 func (n *NIC) replayDuplicate(qp *qpState, m *Message) bool {
 	switch m.Op {
 	case OpWrite, OpSend:
@@ -238,7 +280,9 @@ func (n *NIC) replayDuplicate(qp *qpState, m *Message) bool {
 			n.rxPU.Submit(n.prof.RxPUTime, 0, func() { n.respond(m, StatusOK, nil, val) })
 			return true
 		}
-		return false
+		// Replay record displaced: drop the duplicate without a response —
+		// re-execution would double-apply a non-idempotent op.
+		return true
 	default:
 		return false
 	}

@@ -32,6 +32,14 @@ type Snapshot struct {
 	RetryExc    uint64    // QPs that exhausted their retry budget
 	RxCorrupt   uint64    // inbound packets discarded for corruption
 
+	// Abuse observables (NeVerMore protocol-abuse surface): structurally
+	// zero under benign operation and under random wire loss, which makes
+	// them the markers that separate injection attacks from congestion.
+	RxBadQP     uint64 // requests addressed to a QPN that was never created
+	InvalidNaks uint64 // NAK-seq rejected (gap head not outstanding)
+	InvalidAcks uint64 // responses rejected for a PSN mismatch
+	RxBadPSN    uint64 // requests at the unordered half-space PSN distance
+
 	// Finite-resource observables (the exhaustion surface): ICM context
 	// cache traffic, translation misses and completion-queue overruns.
 	CtxHits      uint64 // context cache hits
@@ -61,6 +69,10 @@ func Snap(eng *sim.Engine, n *nic.NIC) Snapshot {
 	s.DupAcks = c.DupAcks
 	s.RetryExc = c.RetryExc
 	s.RxCorrupt = c.RxCorrupt
+	s.RxBadQP = c.RxBadQP
+	s.InvalidNaks = c.InvalidNaks
+	s.InvalidAcks = c.InvalidAcks
+	s.RxBadPSN = c.RxBadPSN
 	s.CtxHits = c.CtxHits
 	s.CtxMisses = c.CtxMisses
 	s.CtxEvictions = c.CtxEvictions
@@ -94,6 +106,10 @@ func Delta(prev, cur Snapshot) Snapshot {
 	d.DupAcks = cur.DupAcks - prev.DupAcks
 	d.RetryExc = cur.RetryExc - prev.RetryExc
 	d.RxCorrupt = cur.RxCorrupt - prev.RxCorrupt
+	d.RxBadQP = cur.RxBadQP - prev.RxBadQP
+	d.InvalidNaks = cur.InvalidNaks - prev.InvalidNaks
+	d.InvalidAcks = cur.InvalidAcks - prev.InvalidAcks
+	d.RxBadPSN = cur.RxBadPSN - prev.RxBadPSN
 	d.CtxHits = cur.CtxHits - prev.CtxHits
 	d.CtxMisses = cur.CtxMisses - prev.CtxMisses
 	d.CtxEvictions = cur.CtxEvictions - prev.CtxEvictions
