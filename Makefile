@@ -4,9 +4,9 @@
 #                     the parallel-vs-sequential equivalence check
 #   make test       - plain test run (tier-1: go build ./... && go test ./...)
 #   make bench      - regenerate the paper artifacts via the benchmark harness
-#   make benchguard - allocation gate: scheduler, disabled-trace and switch
-#                     forwarding hot paths must report 0 allocs/op (same
-#                     gate CI runs)
+#   make benchguard - allocation gate: scheduler, disabled-trace, switch
+#                     forwarding and egress-arbiter hot paths must report
+#                     0 allocs/op (same gate CI runs)
 #   make perf       - refresh the machine-readable perf baseline
 #                     (BENCH_<date>.json, see EXPERIMENTS.md)
 #   make trace-demo - sample flight-recorder trace from the lossy covert rig
@@ -50,9 +50,9 @@ bench:
 # (BenchmarkEngineParallelXfer), so the window protocol's stage/drain/deliver
 # cycle is gated alongside the serial scheduler.
 benchguard:
-	$(GO) test -run '^$$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward|BenchmarkContextCacheHit|BenchmarkLinkAdversaryOff)' \
+	$(GO) test -run '^$$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward|BenchmarkContextCacheHit|BenchmarkLinkAdversaryOff|BenchmarkArbiterPick)' \
 		-benchtime 1000x -benchmem ./internal/sim ./internal/sim/parallel ./internal/trace ./internal/fabric ./internal/nic \
-		| $(GO) run ./scripts/benchguard.go -min 9
+		| $(GO) run ./scripts/benchguard.go -min 11
 
 perf:
 	./scripts/bench.sh

@@ -5,7 +5,8 @@
 //	ragnar [-nic cx4|cx5|cx6] [-full] [-seed N] <experiment> [...]
 //
 // Experiments: table1 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table5 lossgrid tenants exhaust nvmf pythia fig12 fig13 defense clos all
+// table5 lossgrid tenants exhaust nvmf pythia fig12 fig13 defense defgrid
+// clos all
 //
 // The trace subcommand re-runs an experiment rig with the flight recorder
 // attached and exports the event stream:
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"github.com/thu-has/ragnar/internal/experiments"
 	"github.com/thu-has/ragnar/internal/nic"
@@ -26,7 +28,7 @@ import (
 )
 
 func main() {
-	nicName := flag.String("nic", "cx4", "adapter for single-NIC experiments (cx4, cx5, cx6)")
+	nicName := flag.String("nic", "cx4", "adapter for single-NIC experiments (cx4, cx5, cx6, cx5-iso)")
 	full := flag.Bool("full", false, "run paper-scale parameter spaces (slower)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for sweeps (1 = sequential; results are identical at any count)")
@@ -41,14 +43,14 @@ func main() {
 	}
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|tenants|exhaust|nvmf|pythia|fig12|fig13|defense|clos|all>")
+		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|tenants|exhaust|nvmf|pythia|fig12|fig13|defense|defgrid|clos|all>")
 		fmt.Fprintln(os.Stderr, "       ragnar [flags] trace [-o out.json] [-text] <fig9|intermr|intramr|lossgrid>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 	prof, ok := nic.ProfileByName(*nicName)
 	if !ok {
-		fatalf("unknown NIC %q", *nicName)
+		fatalf("unknown NIC %q (available: %s)", *nicName, strings.Join(nic.ProfileNames(), ", "))
 	}
 
 	if flag.Arg(0) == "trace" {
@@ -61,7 +63,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "table5", "lossgrid", "tenants", "exhaust", "nvmf", "pythia", "fig12", "fig13", "defense", "clos"}
+			"fig9", "fig10", "fig11", "table5", "lossgrid", "tenants", "exhaust", "nvmf", "pythia", "fig12", "fig13", "defense", "defgrid", "clos"}
 	}
 	for _, exp := range args {
 		if err := run(exp, prof, *full, *seed, *perClass, *workers, *domains); err != nil {
@@ -211,6 +213,12 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers,
 			return err
 		}
 		return emit(r, r.Render)
+	case "defgrid":
+		r, err := experiments.DefGrid(prof, seed, workers)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
 	case "clos":
 		r, err := experiments.Clos(prof, domains, full, seed, workers)
 		if err != nil {
@@ -218,7 +226,7 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers,
 		}
 		return emit(r, r.Render)
 	default:
-		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 lossgrid tenants exhaust nvmf pythia defense clos)")
+		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 lossgrid tenants exhaust nvmf pythia defense defgrid clos)")
 	}
 	return nil
 }
@@ -270,7 +278,7 @@ func runTrace(argv []string, prof nic.Profile, seed int64) error {
 // pick returns all NICs in full mode, else just the selected one.
 func pick(prof nic.Profile, full bool) []nic.Profile {
 	if full {
-		return nic.Profiles
+		return nic.PaperProfiles
 	}
 	return []nic.Profile{prof}
 }

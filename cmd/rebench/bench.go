@@ -23,7 +23,7 @@ import (
 // The bench subcommand is the repo's machine-readable perf baseline: it runs
 // the hot-path benchmarks through testing.Benchmark and emits one JSON
 // document per run, designed to be checked in as BENCH_<date>.json (see
-// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Nine probes:
+// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Ten probes:
 //
 //   - engine-schedule-fire: raw scheduler cost, one self-rescheduling event
 //     (the same steady-state pattern the bench-guard CI job gates at
@@ -47,7 +47,10 @@ import (
 //     SENDs, target data-phase WRITE/READ, completion capsules — the ULP hot
 //     path the nvmf attack cells stress, including the per-QP placement gate
 //     on the responder;
-//   - lossgrid: the heaviest composite experiment (retransmission paths hot).
+//   - lossgrid: the heaviest composite experiment (retransmission paths hot);
+//   - defgrid: the defense Pareto grid — the full attack battery against the
+//     CX5-ISO hardening ladder (DWRR arbitration, constant-time TPU and
+//     AES-per-verb paths all hot).
 
 // benchSchema names the JSON layout so future sessions can evolve it without
 // silently breaking comparisons.
@@ -291,6 +294,16 @@ func benchCmd(prof nic.Profile, seed int64, args []string) error {
 		}
 	})
 	doc.Benchmarks = append(doc.Benchmarks, record("lossgrid", r, 0))
+
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.DefGrid(prof, seed+int64(i), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("defgrid", r, 0))
 
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

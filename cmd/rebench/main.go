@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"github.com/thu-has/ragnar/internal/lab"
 	"github.com/thu-has/ragnar/internal/nic"
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	nicName := flag.String("nic", "cx4", "adapter (cx4, cx5, cx6)")
+	nicName := flag.String("nic", "cx4", "adapter (cx4, cx5, cx6, cx5-iso)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for sweeps (1 = sequential; results are identical at any count)")
 	flag.Parse()
@@ -32,7 +33,7 @@ func main() {
 	}
 	prof, ok := nic.ProfileByName(*nicName)
 	if !ok {
-		fatalf("unknown NIC %q", *nicName)
+		fatalf("unknown NIC %q (available: %s)", *nicName, strings.Join(nic.ProfileNames(), ", "))
 	}
 	if flag.NArg() == 0 {
 		fatalf("usage: rebench [flags] <pair|offsets|reloffsets|intermr|linearity|bench>")

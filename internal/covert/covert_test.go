@@ -47,7 +47,7 @@ func TestDecodeByThreshold(t *testing.T) {
 func TestPriorityChannelZeroError(t *testing.T) {
 	// Figure 9's bitstream on all three NICs: error rate 0.00%.
 	msg := bitstream.MustParseBits("1101111101010010")
-	for _, p := range nic.Profiles {
+	for _, p := range nic.PaperProfiles {
 		ch := NewPriorityChannel(p)
 		run := ch.Transmit(msg, 5)
 		if run.Result.ErrorRate != 0 {
@@ -85,7 +85,7 @@ func traceBW(ps []TimePoint) []float64 {
 
 func TestInterMRChannel(t *testing.T) {
 	msg := bitstream.RandomBits(77, 64)
-	for _, p := range nic.Profiles {
+	for _, p := range nic.PaperProfiles {
 		ch, err := NewInterMRChannel(p, 21)
 		if err != nil {
 			t.Fatal(err)
@@ -106,7 +106,7 @@ func TestInterMRChannel(t *testing.T) {
 func TestInterMRBandwidthsMatchTableV(t *testing.T) {
 	// Table V raw bandwidths: CX-4 31.8, CX-5 63.6, CX-6 84.3 Kbps.
 	want := map[string]float64{"ConnectX-4": 31800, "ConnectX-5": 63600, "ConnectX-6": 84300}
-	for _, p := range nic.Profiles {
+	for _, p := range nic.PaperProfiles {
 		ch, err := NewInterMRChannel(p, 9)
 		if err != nil {
 			t.Fatal(err)
@@ -121,7 +121,7 @@ func TestInterMRBandwidthsMatchTableV(t *testing.T) {
 
 func TestIntraMRChannel(t *testing.T) {
 	msg := bitstream.RandomBits(123, 64)
-	for _, p := range nic.Profiles {
+	for _, p := range nic.PaperProfiles {
 		ch, err := NewIntraMRChannel(p, 33)
 		if err != nil {
 			t.Fatal(err)

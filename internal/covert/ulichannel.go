@@ -184,8 +184,18 @@ type ulichanParams struct {
 // 4-8% band (shallow queues decode *too* cleanly here: less inter-symbol
 // interference than the authors' testbed exhibits). Symbol rates are
 // Table V's. The queue-depth ablation bench quantifies the tradeoff.
+// chanProfileName resolves the calibration key for a profile: derived
+// (hardened) profiles calibrate with their base adapter's modulation
+// parameters instead of silently falling into the default arm.
+func chanProfileName(p nic.Profile) string {
+	if p.Base != "" {
+		return p.Base
+	}
+	return p.Name
+}
+
 func interMRParams(p nic.Profile) ulichanParams {
-	switch p.Name {
+	switch chanProfileName(p) {
 	case nic.CX4.Name: // 31.8 Kbps, 512 B reads
 		return ulichanParams{symbolTime: sim.Duration(31.45 * float64(sim.Microsecond)), msgSize: 512, depth: 10}
 	case nic.CX5.Name: // 63.6 Kbps, 64 B reads
@@ -196,7 +206,7 @@ func interMRParams(p nic.Profile) ulichanParams {
 }
 
 func intraMRParams(p nic.Profile) ulichanParams {
-	switch p.Name {
+	switch chanProfileName(p) {
 	case nic.CX4.Name: // 32.2 Kbps, offsets 0/255
 		return ulichanParams{symbolTime: sim.Duration(31.06 * float64(sim.Microsecond)), msgSize: 512, depth: 8, off0: 0, off1: 255}
 	case nic.CX5.Name: // 31.5 Kbps, offsets 0/255

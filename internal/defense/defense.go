@@ -89,6 +89,14 @@ func features(d Snapshot) map[string]float64 {
 	if d.CQOverruns > 0 {
 		f["cq_overrun"] = float64(d.CQOverruns)
 	}
+	// Encryption observables, non-zero only on AES-priced profiles, so
+	// every legacy trace scores exactly as before.
+	if d.EncOps > 0 {
+		f["enc_ops"] = float64(d.EncOps)
+	}
+	if d.EncBytes > 0 {
+		f["enc_bytes"] = float64(d.EncBytes)
+	}
 	for k, v := range d.PerOpcode {
 		f["op/"+k.String()] = float64(v)
 	}

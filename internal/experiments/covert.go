@@ -25,7 +25,7 @@ type Fig9Result struct {
 // adapter, one worker per NIC. Every run keeps the same per-NIC seed it had
 // sequentially, so the traces are unchanged at any worker count.
 func Fig9(seed int64, workers int) Fig9Result {
-	runs, err := parallel.Map(context.Background(), workers, nic.Profiles,
+	runs, err := parallel.Map(context.Background(), workers, nic.PaperProfiles,
 		func(_ context.Context, _ int, p nic.Profile) (*covert.PriorityRun, error) {
 			return covert.NewPriorityChannel(p).Transmit(Fig9Bits, seed), nil
 		})
@@ -33,7 +33,7 @@ func Fig9(seed int64, workers int) Fig9Result {
 		panic(err) // only a captured worker panic: the cell fn never errors
 	}
 	out := Fig9Result{Runs: map[string]*covert.PriorityRun{}}
-	for i, p := range nic.Profiles {
+	for i, p := range nic.PaperProfiles {
 		out.Runs[p.Name] = runs[i]
 	}
 	return out
@@ -43,7 +43,7 @@ func Fig9(seed int64, workers int) Fig9Result {
 func (r Fig9Result) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 9: priority covert channel, bits %s\n", Fig9Bits)
-	for _, p := range nic.Profiles {
+	for _, p := range nic.PaperProfiles {
 		run := r.Runs[p.Name]
 		fmt.Fprintf(&b, "%-12s decoded=%s errors=%.2f%% bw=%.1f bps\n",
 			p.Name, run.Decoded, run.Result.ErrorRate*100, run.Result.BandwidthBps)
@@ -128,7 +128,7 @@ func Fig11(seed int64, workers int) (Fig11Result, error) {
 	for i := range bits {
 		bits[i] = byte(i % 2)
 	}
-	folds, err := parallel.Map(context.Background(), workers, nic.Profiles,
+	folds, err := parallel.Map(context.Background(), workers, nic.PaperProfiles,
 		func(_ context.Context, _ int, p nic.Profile) (covert.FoldedTrace, error) {
 			ch, err := covert.NewInterMRChannel(p, seed)
 			if err != nil {
@@ -144,7 +144,7 @@ func Fig11(seed int64, workers int) (Fig11Result, error) {
 	if err != nil {
 		return out, err
 	}
-	for i, p := range nic.Profiles {
+	for i, p := range nic.PaperProfiles {
 		out.Folds[p.Name] = folds[i]
 	}
 	return out, nil
@@ -153,7 +153,7 @@ func Fig11(seed int64, workers int) (Fig11Result, error) {
 // Render prints each NIC's folded period.
 func (r Fig11Result) Render() string {
 	var b strings.Builder
-	for _, p := range nic.Profiles {
+	for _, p := range nic.PaperProfiles {
 		b.WriteString(renderFolded(fmt.Sprintf("Figure 11 [%s]: inter-MR folded period", p.Name), r.Folds[p.Name]))
 	}
 	return b.String()
@@ -193,7 +193,7 @@ type table5Cell struct {
 func table5Cells() []table5Cell {
 	var cells []table5Cell
 	for _, kind := range []string{"priority", "intermr", "intramr"} {
-		for _, p := range nic.Profiles {
+		for _, p := range nic.PaperProfiles {
 			cells = append(cells, table5Cell{kind: kind, p: p})
 		}
 	}

@@ -59,10 +59,10 @@ import (
 const (
 	nvmfNamespaceBytes = 2 << 20
 	nvmfTargetDepth    = 64
-	nvmfWindow    = 150 * sim.Microsecond
-	nvmfTrainWins = 8
-	nvmfScoreWins = 8
-	nvmfWarmup    = 200 * sim.Microsecond
+	nvmfWindow         = 150 * sim.Microsecond
+	nvmfTrainWins      = 8
+	nvmfScoreWins      = 8
+	nvmfWarmup         = 200 * sim.Microsecond
 	// nvmfRetryTimeout sits well above the worst-case data-phase response
 	// time under a full target queue: the NAK path recovers mid-stream loss
 	// fast, and the timer only backstops tail/response drops. A tighter

@@ -135,6 +135,10 @@ func (c *Cluster) DialCQ(client, sqDepth, cqCap int) (*Conn, error) {
 	if err := verbs.Connect(qp, sq); err != nil {
 		return nil, err
 	}
+	// Tag the server-side QP with the client index so isolation profiles
+	// can attribute egress scheduling and responder credits per tenant.
+	// Inert on non-ISO profiles (the strict arbiter ignores tenants).
+	c.Server.NIC().SetQPTenant(sq.QPN(), client)
 	return &Conn{Client: cl, QP: qp, CQ: cq, server: sq}, nil
 }
 

@@ -1,0 +1,179 @@
+package nic
+
+import "github.com/thu-has/ragnar/internal/sim"
+
+// ArbiterKind names the egress-arbiter strategy a Profile composes. The
+// zero value is the legacy strict-priority pick, so profiles that predate
+// the strategy seam keep their exact schedules.
+type ArbiterKind int
+
+const (
+	// ArbiterStrict serves the lowest class first (requester ring before
+	// responder ring), FIFO within a class — byte-identical to the old
+	// priority-server egress.
+	ArbiterStrict ArbiterKind = iota
+	// ArbiterDWRR serves tenants by deficit-weighted round-robin over
+	// bytes, the GLSVLSI'23 isolation TX architecture: each tenant earns
+	// quantum x weight credit per cycle and spends it on its head-of-line
+	// request, so one tenant's burst cannot starve another's schedule.
+	ArbiterDWRR
+)
+
+func (k ArbiterKind) String() string {
+	switch k {
+	case ArbiterStrict:
+		return "strict"
+	case ArbiterDWRR:
+		return "dwrr"
+	}
+	return "unknown"
+}
+
+// MaxTenants bounds the per-tenant state in the DWRR arbiter and the ISO
+// credit pools. Fixed arrays keep the hot path allocation-free.
+const MaxTenants = 8
+
+// ArbiterStrategy is the profile-selectable egress scheduling policy. It is
+// a sim.Arbiter plus a self-describing kind; Pick must be allocation-free
+// (guarded by BenchmarkArbiterPick in CI).
+type ArbiterStrategy interface {
+	sim.Arbiter
+	Kind() ArbiterKind
+}
+
+// StrictArbiter reproduces the legacy priority server: first index of the
+// minimum class. Because the arbitrated queue is FIFO by arrival, picking
+// the first minimum-class entry at every dequeue yields exactly the
+// schedule of the old sorted-insert + pop-front priority queue.
+type StrictArbiter struct{}
+
+func (StrictArbiter) Kind() ArbiterKind { return ArbiterStrict }
+
+func (StrictArbiter) Pick(q []sim.ReqMeta) int {
+	best := 0
+	for i := 1; i < len(q); i++ {
+		if q[i].Class < q[best].Class {
+			best = i
+		}
+	}
+	return best
+}
+
+// DWRRArbiter is a deficit-weighted round-robin scheduler over tenants.
+// Each tenant accumulates quantum x weight bytes of credit per visit; a
+// tenant whose head-of-line request fits its deficit is served and charged.
+// Tenant IDs outside [0, MaxTenants) fold into slot 0.
+type DWRRArbiter struct {
+	weights [MaxTenants]int
+	deficit [MaxTenants]int64
+	quantum int64
+	next    int // round-robin cursor, persists across picks
+}
+
+// NewDWRRArbiter builds a DWRR arbiter. Weights of zero or below are
+// clamped to 1 so every tenant makes progress and the credit loop
+// terminates; a zero quantum defaults to 2048 bytes (half an MTU on the
+// modeled parts — small enough that interleaving happens at message
+// granularity).
+func NewDWRRArbiter(weights [MaxTenants]int, quantum int) *DWRRArbiter {
+	a := &DWRRArbiter{quantum: int64(quantum)}
+	if a.quantum <= 0 {
+		a.quantum = 2048
+	}
+	for i, w := range weights {
+		if w < 1 {
+			w = 1
+		}
+		a.weights[i] = w
+	}
+	return a
+}
+
+func (a *DWRRArbiter) Kind() ArbiterKind { return ArbiterDWRR }
+
+// Weights returns the (clamped) per-tenant weight table.
+func (a *DWRRArbiter) Weights() [MaxTenants]int { return a.weights }
+
+func tenantSlot(t int) int {
+	if t < 0 || t >= MaxTenants {
+		return 0
+	}
+	return t
+}
+
+// Pick scans the waiting requests, finds each present tenant's head-of-line
+// entry (lowest queue index — arrival order within a tenant is preserved),
+// then cycles the round-robin cursor topping up deficits until some
+// tenant's head-of-line cost fits. The cycle count is bounded: one top-up
+// adds quantum x weight >= quantum bytes, so at most maxBytes/quantum +
+// MaxTenants visits are needed; a hard cap keeps adversarial inputs from
+// looping, falling back to the first present tenant.
+func (a *DWRRArbiter) Pick(q []sim.ReqMeta) int {
+	if len(q) == 1 {
+		return 0
+	}
+	// Head-of-line request per tenant. -1 = tenant not present.
+	var head [MaxTenants]int
+	for i := range head {
+		head[i] = -1
+	}
+	present := 0
+	for i := range q {
+		t := tenantSlot(q[i].Tenant)
+		if head[t] < 0 {
+			head[t] = i
+			present++
+		}
+	}
+	if present == 1 {
+		for t := range head {
+			if head[t] >= 0 {
+				return head[t]
+			}
+		}
+	}
+	// Bounded credit cycle: visit tenants round-robin from the persistent
+	// cursor; serve the first whose deficit covers its head-of-line bytes,
+	// topping up one quantum x weight per unsatisfied visit.
+	const maxVisits = 4096
+	for visit := 0; visit < maxVisits; visit++ {
+		t := (a.next + visit) % MaxTenants
+		if head[t] < 0 {
+			continue
+		}
+		cost := int64(q[head[t]].Bytes)
+		if cost < 1 {
+			cost = 1
+		}
+		if a.deficit[t] >= cost {
+			a.deficit[t] -= cost
+			// Keep the cursor on t: a tenant holds the scheduler until its
+			// deficit is spent (classic DWRR visit semantics). Advancing past
+			// it after every single pick would top up the other tenants once
+			// per pick instead of once per round and skew service toward the
+			// light weights.
+			a.next = t
+			return head[t]
+		}
+		a.deficit[t] += a.quantum * int64(a.weights[t])
+	}
+	// Unreachable for sane quanta; serve the first present tenant so the
+	// server always makes progress.
+	for t := range head {
+		if head[t] >= 0 {
+			return head[t]
+		}
+	}
+	return 0
+}
+
+// arbiterFor instantiates the profile's egress arbiter strategy. Each NIC
+// gets its own instance (DWRR carries per-tenant deficit state).
+func arbiterFor(p Profile) ArbiterStrategy {
+	switch p.ArbiterKind {
+	case ArbiterDWRR:
+		return NewDWRRArbiter(p.ISOWeights, p.ISOQuantum)
+	default:
+		return StrictArbiter{}
+	}
+}

@@ -58,10 +58,19 @@ const (
 	nicResources
 )
 
-// Per-client extra wire resources (client<->server direction pair).
+// Per-client extra wire resources (client<->server direction pair), plus —
+// for isolation profiles — this tenant's partitioned share of each server
+// NIC resource. A flow's server-side demands are mirrored into its client's
+// share resources, whose capacities are the server capacities scaled by the
+// tenant's DWRR weight fraction; under non-ISO profiles the mirrors carry
+// zero demand and never bind.
 const (
 	rWireUp   = nicResources + iota // client -> server
 	rWireDown                       // server -> client
+	rShareComplexTx
+	rShareComplexRx
+	rSharePCIePost
+	rSharePCIeNonPost
 	clientResources
 )
 
@@ -87,6 +96,10 @@ type fluid struct {
 	caps     []float64
 	capacity []float64 // static capacities (priority Rx/NonPost handled separately)
 	insig    [][]bool
+	// iso selects the isolation-hardened server model: per-tenant weighted
+	// shares of the server complex and host interface replace the strict
+	// Tx-over-Rx / posted-over-non-posted priority damping there.
+	iso bool
 }
 
 // serverRes indexes a server NIC resource; clientRes a client NIC resource.
@@ -157,6 +170,42 @@ func (fl *fluid) demandsInto(f FlowSpec, d []float64) {
 		d[wireTI] = AckBytes + 8
 		d[ini(rComplexRx)] = 0.5
 	}
+
+	// Encryption profiles add AES work on both processing complexes, priced
+	// in PU-time equivalents so a big payload's cipher time competes with
+	// other messages for the same complex capacity.
+	if et := p.encTime(f.MsgBytes); et > 0 {
+		d[ini(rComplexTx)] += float64(et) / float64(p.TxPUTime)
+		d[tgt(rComplexRx)] += float64(et) / float64(p.RxPUTime)
+	}
+
+	// Isolation profiles: mirror this flow's server-NIC demands into its
+	// tenant's share resources, which cap the flow at the tenant's weighted
+	// fraction of each server resource.
+	if fl.iso {
+		for r := 0; r < nicResources; r++ {
+			d[fl.clientRes(f.Client, rShareComplexTx+r)] = d[fl.serverRes(r)]
+		}
+	}
+}
+
+// isoWeight returns a tenant's DWRR weight with the arbiter's >=1 clamp.
+func isoWeight(p Profile, c int) float64 {
+	w := p.ISOWeights[tenantSlot(c)]
+	if w < 1 {
+		w = 1
+	}
+	return float64(w)
+}
+
+// isoShare returns the fraction of each server resource tenant c owns:
+// its weight over the sum of all present tenants' weights.
+func isoShare(p Profile, c, nClients int) float64 {
+	var sum float64
+	for i := 0; i < nClients; i++ {
+		sum += isoWeight(p, i)
+	}
+	return isoWeight(p, c) / sum
 }
 
 // requesterCap returns a flow's requester-side message-rate cap (msgs/us).
@@ -271,7 +320,7 @@ func Solve(p Profile, flows []FlowSpec) []FlowResult {
 			nClients = f.Client + 1
 		}
 	}
-	fl := &fluid{p: p, nClients: nClients}
+	fl := &fluid{p: p, nClients: nClients, iso: p.ArbiterKind == ArbiterDWRR}
 	fl.nRes = nicResources + nClients*clientResources
 	fl.dem = make([][]float64, n)
 	fl.caps = make([]float64, n)
@@ -310,6 +359,18 @@ func Solve(p Profile, flows []FlowSpec) []FlowResult {
 		setNIC(base)
 		capacity[base+rWireUp] = wireCap
 		capacity[base+rWireDown] = wireCap
+		// Tenant shares of the server NIC. A lone tenant owns the full
+		// capacities, so a solo ISO flow pays nothing for the partition;
+		// under non-ISO profiles the mirrors carry zero demand and the
+		// full-capacity setting keeps them inert.
+		share := 1.0
+		if fl.iso && nClients > 1 {
+			share = isoShare(p, c, nClients)
+		}
+		capacity[base+rShareComplexTx] = complexCap * share
+		capacity[base+rShareComplexRx] = complexCap * share
+		capacity[base+rSharePCIePost] = pcieCap * share
+		capacity[base+rSharePCIeNonPost] = pcieCap * share
 	}
 
 	fl.capacity = capacity
@@ -338,7 +399,14 @@ func Solve(p Profile, flows []FlowSpec) []FlowResult {
 			want = math.Max(floorFrac*pcieCap, pcieCap-post)
 			cur[base+rPCIeNonPost] = 0.5*cur[base+rPCIeNonPost] + 0.5*want
 		}
-		lower(0)
+		// The isolation architecture replaces the server's strict priorities
+		// (Tx over Rx, posted over non-posted) with the weighted shares
+		// above, so the server keeps its full static capacities — that is
+		// exactly what kills the KF3 priority channel. Client NICs are
+		// unmodified hardware and keep the priority damping.
+		if !fl.iso {
+			lower(0)
+		}
 		for c := 0; c < nClients; c++ {
 			lower(nicResources + c*clientResources)
 		}

@@ -39,7 +39,9 @@ func TestSoloLargeMessagesNearLineOrPCIe(t *testing.T) {
 // bandwidth against a read flow (the read's response generation holds the
 // higher-priority Tx arbiter), while the read keeps the bulk of its own.
 func TestKF1SmallWriteLoses(t *testing.T) {
-	for _, p := range Profiles {
+	// Paper profiles only: CX5-ISO's partitioned shares remove these KF1
+	// victim-loss effects by design (pinned by the iso tests).
+	for _, p := range PaperProfiles {
 		w := FlowSpec{Name: "w", Op: OpWrite, MsgBytes: 64, QPNum: 4, Client: 0}
 		r := FlowSpec{Name: "r", Op: OpRead, MsgBytes: 1024, QPNum: 2, Client: 1}
 		soloW, soloR := Solo(p, w), Solo(p, r)
@@ -56,7 +58,9 @@ func TestKF1SmallWriteLoses(t *testing.T) {
 // Key Finding 1b (the reversal): once the write flow reaches ~512 B+, the
 // write keeps its bandwidth and the read drops 30-80+ %.
 func TestKF1LargeWriteWins(t *testing.T) {
-	for _, p := range Profiles {
+	// Paper profiles only: CX5-ISO's partitioned shares remove these KF1
+	// victim-loss effects by design (pinned by the iso tests).
+	for _, p := range PaperProfiles {
 		w := FlowSpec{Name: "w", Op: OpWrite, MsgBytes: 2048, QPNum: 4, Client: 0}
 		r := FlowSpec{Name: "r", Op: OpRead, MsgBytes: 1024, QPNum: 2, Client: 1}
 		soloW, soloR := Solo(p, w), Solo(p, r)
@@ -73,7 +77,9 @@ func TestKF1LargeWriteWins(t *testing.T) {
 
 // The write's fate reverses non-monotonically with its own message size.
 func TestKF1NonMonotonicReversal(t *testing.T) {
-	for _, p := range Profiles {
+	// Paper profiles only: CX5-ISO's partitioned shares remove these KF1
+	// victim-loss effects by design (pinned by the iso tests).
+	for _, p := range PaperProfiles {
 		r := FlowSpec{Name: "r", Op: OpRead, MsgBytes: 1024, QPNum: 2, Client: 1}
 		lossAt := func(ws int) (wLoss, rLoss float64) {
 			w := FlowSpec{Name: "w", Op: OpWrite, MsgBytes: ws, QPNum: 4, Client: 0}
@@ -93,7 +99,9 @@ func TestKF1NonMonotonicReversal(t *testing.T) {
 // clients activates the NoC boost; total traffic exceeds 200% of one solo
 // flow.
 func TestKF2AbnormalIncrement(t *testing.T) {
-	for _, p := range Profiles {
+	// Paper profiles only: CX5-ISO pins the NoC at its base clock by design,
+	// which closes exactly this abnormal-increment channel.
+	for _, p := range PaperProfiles {
 		w1 := FlowSpec{Name: "w1", Op: OpWrite, MsgBytes: 64, QPNum: 4, Client: 0}
 		w2 := FlowSpec{Name: "w2", Op: OpWrite, MsgBytes: 64, QPNum: 4, Client: 1}
 		solo := Solo(p, w1)
@@ -112,7 +120,9 @@ func TestKF2AbnormalIncrement(t *testing.T) {
 // Key Finding 3: RDMA Write and reverse RDMA Read with identical parameters
 // interact differently with a Write competitor (Tx vs Rx arbiter priority).
 func TestKF3WriteVsReverseReadAsymmetry(t *testing.T) {
-	for _, p := range Profiles {
+	// Paper profiles only: CX5-ISO's weighted scheduling deliberately
+	// removes the Tx-over-Rx priority asymmetry this test pins.
+	for _, p := range PaperProfiles {
 		w := FlowSpec{Name: "w", Op: OpWrite, MsgBytes: 1024, QPNum: 2, Client: 0}
 		symm := Solve(p, []FlowSpec{w, {Name: "w2", Op: OpWrite, MsgBytes: 1024, QPNum: 2, Client: 1}})
 		asym := Solve(p, []FlowSpec{w, {Name: "rr", Op: OpRead, MsgBytes: 1024, QPNum: 2, Client: 1, FromServer: true}})
@@ -132,7 +142,9 @@ func TestKF3WriteVsReverseReadAsymmetry(t *testing.T) {
 // clearly different bandwidth when the sender blasts 2048 B writes (bit 0)
 // vs 128 B writes (bit 1).
 func TestPriorityChannelObservable(t *testing.T) {
-	for _, p := range Profiles {
+	// Paper profiles only: CX5-ISO's weighted shares collapse this gap to
+	// zero (pinned by TestIsolatedClosesPriorityChannel).
+	for _, p := range PaperProfiles {
 		mon := FlowSpec{Name: "mon", Op: OpRead, MsgBytes: 1024, QPNum: 1, Client: 1}
 		bit1 := Solve(p, []FlowSpec{{Name: "tx", Op: OpWrite, MsgBytes: 128, QPNum: 4, Client: 0}, mon})[1]
 		bit0 := Solve(p, []FlowSpec{{Name: "tx", Op: OpWrite, MsgBytes: 2048, QPNum: 4, Client: 0}, mon})[1]

@@ -1,0 +1,238 @@
+package nic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/thu-has/ragnar/internal/sim"
+)
+
+// CX5-ISO closes the Grain-I priority covert channel: the monitor's
+// bandwidth gap between the sender's bit-0 and bit-1 loads collapses to
+// (near) zero, where the paper profiles show >= 15% (see
+// TestPriorityChannelObservable).
+func TestIsolatedClosesPriorityChannel(t *testing.T) {
+	p := CX5ISO
+	mon := FlowSpec{Name: "mon", Op: OpRead, MsgBytes: 1024, QPNum: 1, Client: 1}
+	bit1 := Solve(p, []FlowSpec{{Name: "tx", Op: OpWrite, MsgBytes: 128, QPNum: 4, Client: 0}, mon})[1]
+	bit0 := Solve(p, []FlowSpec{{Name: "tx", Op: OpWrite, MsgBytes: 2048, QPNum: 4, Client: 0}, mon})[1]
+	gap := math.Abs(bit1.GoodputGbps-bit0.GoodputGbps) / bit1.GoodputGbps
+	if gap > 0.02 {
+		t.Errorf("CX5-ISO: monitor gap %.1f%%, isolation should hold it under 2%%", gap*100)
+	}
+}
+
+// The KF2 abnormal increment is gone on CX5-ISO: aggregate small-write
+// traffic stays at (or below) 200% of solo because the NoC is pinned at its
+// base clock.
+func TestIsolatedClosesKF2(t *testing.T) {
+	p := CX5ISO
+	w1 := FlowSpec{Name: "w1", Op: OpWrite, MsgBytes: 64, QPNum: 4, Client: 0}
+	w2 := FlowSpec{Name: "w2", Op: OpWrite, MsgBytes: 64, QPNum: 4, Client: 1}
+	solo := Solo(p, w1)
+	res := Solve(p, []FlowSpec{w1, w2})
+	total := (res[0].GoodputGbps + res[1].GoodputGbps) / solo.GoodputGbps * 100
+	if total > 200 {
+		t.Errorf("CX5-ISO: aggregate %.0f%% of solo, the pinned NoC should keep it <= 200%%", total)
+	}
+}
+
+// A lone ISO tenant pays nothing for the partition when the shared-clock
+// effects are out of play: solo large-message goodput matches CX5 (large
+// messages never trigger CX5's NoC boost, so the only differences would be
+// partition overhead — which must not exist for a lone tenant).
+func TestIsolatedSoloLargeUnchanged(t *testing.T) {
+	for _, op := range []Opcode{OpWrite, OpRead} {
+		f := FlowSpec{Op: op, MsgBytes: 4096, QPNum: 4}
+		base := Solo(CX5, f).GoodputGbps
+		iso := Solo(CX5ISO, f).GoodputGbps
+		if math.Abs(base-iso) > 1e-9 {
+			t.Errorf("%s 4KB solo: CX5=%.4fG CX5-ISO=%.4fG, want identical", op, base, iso)
+		}
+	}
+}
+
+// Table-driven DWRR weight handling: clamping, registration, and the fluid
+// model's share normalization.
+func TestDWRRWeights(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      [MaxTenants]int
+		wantSum int
+	}{
+		{"all-zero-clamps-to-ones", [MaxTenants]int{}, MaxTenants},
+		{"equal", [MaxTenants]int{1, 1, 1, 1, 1, 1, 1, 1}, MaxTenants},
+		{"weighted", [MaxTenants]int{4, 2, 1, 1, 1, 1, 1, 1}, 12},
+		{"negative-clamps", [MaxTenants]int{-3, 5, 0, 1, 1, 1, 1, 1}, 1 + 5 + 1 + 1 + 1 + 1 + 1 + 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewDWRRArbiter(tc.in, 0)
+			sum := 0
+			for _, w := range a.Weights() {
+				if w < 1 {
+					t.Fatalf("weight %d below the >=1 clamp", w)
+				}
+				sum += w
+			}
+			if sum != tc.wantSum {
+				t.Fatalf("weight sum = %d, want %d", sum, tc.wantSum)
+			}
+		})
+	}
+	// The fluid shares for any tenant population sum to 1 (the partition
+	// hands out exactly the server's capacity, never more).
+	p := CX5ISO
+	p.ISOWeights = [MaxTenants]int{4, 2, 1, 1, 0, 0, 0, 0}
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		var sum float64
+		for c := 0; c < n; c++ {
+			sum += isoShare(p, c, n)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("%d tenants: shares sum to %v, want 1", n, sum)
+		}
+	}
+}
+
+// DWRR apportions egress service by weight: with 3:1 weights over two
+// backlogged tenants, tenant 0 gets ~3x the picks of tenant 1 at equal
+// request sizes.
+func TestDWRRProportionalPicks(t *testing.T) {
+	var w [MaxTenants]int
+	w[0], w[1] = 3, 1
+	a := NewDWRRArbiter(w, 2048)
+	// A standing queue: both tenants always have one 2048 B head-of-line
+	// request (indices alternate to prove head-of-line selection, not
+	// position bias).
+	q := []sim.ReqMeta{
+		{Tenant: 1, Bytes: 2048}, {Tenant: 0, Bytes: 2048},
+		{Tenant: 1, Bytes: 2048}, {Tenant: 0, Bytes: 2048},
+	}
+	var picks [2]int
+	for i := 0; i < 4000; i++ {
+		got := a.Pick(q)
+		picks[q[got].Tenant]++
+	}
+	ratio := float64(picks[0]) / float64(picks[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("pick ratio tenant0:tenant1 = %.2f (%d:%d), want ~3.0", ratio, picks[0], picks[1])
+	}
+}
+
+// The constant-time TPU has zero offset-vs-latency correlation: every
+// offset in the sweep yields the identical deterministic service time,
+// while the empirical strategy varies (that variation is KF4's carrier).
+func TestConstTPUZeroOffsetCorrelation(t *testing.T) {
+	p := WithConstTPU(CX5)
+	ct := NewTPU(p, sim.NewEngine(1).Rand())
+	emp := NewTPU(CX5, sim.NewEngine(1).Rand())
+
+	var ctTimes, empTimes []float64
+	for off := uint64(0); off <= 4096; off += 8 {
+		req := Request{MRKey: 1, Offset: off, Length: 64, MRBase: 0, PageSize: 2 << 20}
+		ctTimes = append(ctTimes, float64(ct.strat.Service(ct, req)))
+		empTimes = append(empTimes, float64(emp.strat.Service(emp, req)))
+	}
+	for i, d := range ctTimes {
+		if d != ctTimes[0] {
+			t.Fatalf("const-TPU service varies with offset: sample %d = %v, sample 0 = %v", i, d, ctTimes[0])
+		}
+	}
+	varies := false
+	for _, d := range empTimes {
+		if d != empTimes[0] {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("empirical TPU shows no offset dependence — KF4 carrier missing")
+	}
+	// Pearson correlation against offset: exactly 0 for the flat surface.
+	if r := offsetCorr(ctTimes); math.Abs(r) > 1e-12 {
+		t.Fatalf("const-TPU offset correlation = %v, want 0", r)
+	}
+	if r := offsetCorr(empTimes); math.Abs(r) < 1e-6 {
+		t.Fatalf("empirical offset correlation = %v, want non-zero", r)
+	}
+}
+
+// offsetCorr computes Pearson correlation of a series against its index.
+func offsetCorr(ys []float64) float64 {
+	n := float64(len(ys))
+	var sx, sy, sxx, syy, sxy float64
+	for i, y := range ys {
+		x := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	den := math.Sqrt(n*sxx-sx*sx) * math.Sqrt(n*syy-sy*sy)
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// SetConstantTime swaps strategies at runtime (the defense package's
+// ConstantTimeMitigation relies on this surviving the strategy seam).
+func TestSetConstantTimeSwapsStrategy(t *testing.T) {
+	tp := NewTPU(CX5, sim.NewEngine(1).Rand())
+	if tp.Strategy() != TPUEmpirical || tp.ConstantTimeEnabled() {
+		t.Fatal("CX5 should start on the empirical strategy")
+	}
+	tp.SetConstantTime(true)
+	if tp.Strategy() != TPUConstTime || !tp.ConstantTimeEnabled() {
+		t.Fatal("SetConstantTime(true) did not select the const-time strategy")
+	}
+	tp.SetConstantTime(false)
+	if tp.Strategy() != TPUEmpirical {
+		t.Fatal("SetConstantTime(false) did not restore the empirical strategy")
+	}
+	if NewTPU(WithConstTPU(CX5), sim.NewEngine(1).Rand()).Strategy() != TPUConstTime {
+		t.Fatal("WithConstTPU profile should construct a const-time TPU")
+	}
+}
+
+// Derived profiles keep their base adapter's identity for channel
+// calibration.
+func TestDerivedProfileBase(t *testing.T) {
+	for _, p := range []Profile{CX5ISO, WithConstTPU(CX5ISO), WithAES(CX5ISO), WithConstTPU(CX5), WithAES(CX5)} {
+		if p.Base != CX5.Name {
+			t.Fatalf("%s: Base = %q, want %q", p.Name, p.Base, CX5.Name)
+		}
+	}
+	for _, p := range PaperProfiles {
+		if p.Base != "" {
+			t.Fatalf("%s: paper profile has non-empty Base %q", p.Name, p.Base)
+		}
+	}
+}
+
+// The arbiter hot path must stay allocation-free under the strategy
+// indirection (gated in CI by scripts/benchguard.go).
+func BenchmarkArbiterPick(b *testing.B) {
+	q := make([]sim.ReqMeta, 16)
+	for i := range q {
+		q[i] = sim.ReqMeta{Class: i % 2, Tenant: i % 4, Bytes: 64 << (i % 5)}
+	}
+	b.Run("strict", func(b *testing.B) {
+		b.ReportAllocs()
+		a := StrictArbiter{}
+		for i := 0; i < b.N; i++ {
+			_ = a.Pick(q)
+		}
+	})
+	b.Run("dwrr", func(b *testing.B) {
+		b.ReportAllocs()
+		var w [MaxTenants]int
+		w[0], w[1], w[2], w[3] = 2, 1, 1, 1
+		a := NewDWRRArbiter(w, 2048)
+		for i := 0; i < b.N; i++ {
+			_ = a.Pick(q)
+		}
+	})
+}

@@ -96,6 +96,11 @@ type Message struct {
 	CompareAdd uint64
 	Swap       uint64
 	TC         int
+
+	// admitted marks a request that holds one of the responder's per-tenant
+	// ISO credits (see isoAdmit); respond() releases the credit exactly once.
+	// Always false outside isolation profiles.
+	admitted bool
 }
 
 // WQE is a posted work queue element.
@@ -180,8 +185,8 @@ type qpState struct {
 	// finish out of order. Without this a 16-byte SEND overtakes a 16 KB
 	// WRITE accepted just before it, and an upper layer that treats the
 	// SEND as a commit record observes the write before its data landed.
-	placeNext uint64           // next ticket, assigned at PSN acceptance
-	placeHead uint64           // next ticket allowed to fire
+	placeNext uint64            // next ticket, assigned at PSN acceptance
+	placeHead uint64            // next ticket allowed to fire
 	placeWait map[uint64]func() // finished effects blocked behind earlier tickets
 }
 
@@ -275,6 +280,12 @@ type Counters struct {
 	CtxEvictions uint64 // contexts evicted to make room (capacity pressure)
 	MTTMisses    uint64 // TPU translation-cache misses
 	CQOverruns   uint64 // completions dropped at full CQs
+
+	// Encryption observables (the AES-per-verb pricing model): messages
+	// that paid the AES latency and the payload bytes they covered. Both
+	// are structurally zero on profiles without the encryption knobs.
+	EncOps   uint64
+	EncBytes uint64
 }
 
 func newCounters() Counters {
@@ -315,6 +326,18 @@ type NIC struct {
 	mrs     map[uint32]*MRInfo
 	pend    map[uint64]*pending
 	nextSeq uint64
+
+	// Tenant attribution for isolation profiles: qpTenant maps a local QPN
+	// to its tenant slot (unmapped QPs fold into slot 0). The lab layer
+	// tags server-side QPs by client index at connection time.
+	qpTenant map[uint32]int
+	// Per-tenant responder credit pools (profile ISOCredits > 0): a request
+	// must take a credit before entering the responder PU; requests beyond
+	// the pool wait FIFO per tenant, so one tenant cannot occupy the whole
+	// processing complex.
+	isoOn      bool
+	isoCredits [MaxTenants]int
+	isoWait    [MaxTenants][]func()
 
 	// RC retransmission defaults, overridable per QP via SetQPRetry. The
 	// default timeout is deliberately far above any in-sim RTT so that a
@@ -438,8 +461,75 @@ func New(eng *sim.Engine, name string, p Profile, h *host.Host, numa int) *NIC {
 	n.tpuSrv = sim.NewServer(eng, name+"/tpu", 1)
 	n.txPU = sim.NewServer(eng, name+"/txpu", p.RequesterSlots)
 	n.rxPU = sim.NewServer(eng, name+"/rxpu", p.ResponderSlots)
-	n.egress = sim.NewPriorityServer(eng, name+"/egress", 1)
+	// The egress server is arbitrated by the profile's strategy. The strict
+	// arbiter reproduces the old priority server's schedule exactly (first
+	// index of the minimum class over a FIFO queue == sorted-insert +
+	// pop-front), so legacy profiles stay byte-identical.
+	n.egress = sim.NewArbitratedServer(eng, name+"/egress", 1, arbiterFor(p))
+	if p.ISOCredits > 0 {
+		n.isoOn = true
+		for i := range n.isoCredits {
+			n.isoCredits[i] = p.ISOCredits
+		}
+	}
 	return n
+}
+
+// SetQPTenant attributes a local QP to a tenant slot for the isolation
+// profiles' per-tenant scheduling and credit pools. Unmapped QPs are slot 0.
+func (n *NIC) SetQPTenant(qpn uint32, tenant int) {
+	if n.qpTenant == nil {
+		n.qpTenant = make(map[uint32]int)
+	}
+	n.qpTenant[qpn] = tenantSlot(tenant)
+}
+
+func (n *NIC) tenantOf(qpn uint32) int { return n.qpTenant[qpn] }
+
+// isoAdmit runs fn once the tenant holds a responder credit; with the pools
+// disabled it runs fn immediately.
+func (n *NIC) isoAdmit(tenant int, fn func()) {
+	if !n.isoOn {
+		fn()
+		return
+	}
+	t := tenantSlot(tenant)
+	if n.isoCredits[t] > 0 {
+		n.isoCredits[t]--
+		fn()
+		return
+	}
+	n.isoWait[t] = append(n.isoWait[t], fn)
+}
+
+// isoRelease returns a tenant's credit, handing it straight to the oldest
+// waiter if one is queued.
+func (n *NIC) isoRelease(tenant int) {
+	if !n.isoOn {
+		return
+	}
+	t := tenantSlot(tenant)
+	if w := n.isoWait[t]; len(w) > 0 {
+		fn := w[0]
+		copy(w, w[1:])
+		n.isoWait[t] = w[:len(w)-1]
+		fn()
+		return
+	}
+	n.isoCredits[t]++
+}
+
+// encCharge prices AES for one message's payload and records the telemetry;
+// zero (and counter-free) on profiles without the encryption knobs.
+func (n *NIC) encCharge(bytes int) sim.Duration {
+	d := n.prof.encTime(bytes)
+	if d > 0 {
+		n.counters.EncOps++
+		if bytes > 0 {
+			n.counters.EncBytes += uint64(bytes)
+		}
+	}
+	return d
 }
 
 // Profile returns the adapter profile.
@@ -670,7 +760,10 @@ func (n *NIC) PostSend(qpn uint32, wqe *WQE) error {
 	}
 	n.eng.After(n.prof.DoorbellTime, func() {
 		n.hostDMA.Submit(n.dmaTransferTime(fetchBytes)+n.prof.SQEFetchTime, 0, func() {
-			n.txPU.Submit(n.prof.TxPUTime, 0, func() {
+			// Encryption profiles pay the AES cost on the requester PU: the
+			// payload (or the header MAC for payload-less verbs) is
+			// enciphered before the message can launch.
+			n.txPU.Submit(n.prof.TxPUTime+n.encCharge(wqe.Length), 0, func() {
 				if wqe.Op == OpWrite && !inline || wqe.Op == OpSend && wqe.Length > n.prof.InlineMax {
 					n.dma(wqe.Length, nil, func() { n.launch(qp, wqe, post) })
 					return
@@ -734,7 +827,7 @@ func (n *NIC) transmit(dst *NIC, m *Message, ring int) {
 	if ser > service {
 		service = ser
 	}
-	n.egress.Submit(service, ring, func() {
+	n.egress.SubmitMeta(service, sim.ReqMeta{Class: ring, Tenant: n.tenantOf(m.SrcQPN), Bytes: bytes}, func() {
 		n.counters.TxBytes += uint64(bytes)
 		n.counters.TxBytesTC[m.TC&7] += uint64(bytes)
 		n.rec.Emit(trace.Event{At: int64(n.eng.Now()), Kind: trace.KindArbGrant,
@@ -894,34 +987,49 @@ func (n *NIC) handleRequest(m *Message) {
 	if pkts < 1 {
 		pkts = 1
 	}
-	service := n.prof.RxPUTime * sim.Duration(pkts)
-	n.rxPU.Submit(service, 0, func() {
-		extra := sim.Duration(0)
-		if n.ResponderDelay != nil {
-			extra = n.ResponderDelay()
-		}
-		// QPC lookup: a cold QP context costs an ICM fetch.
-		if !n.qpc.Access(QPCtxKey(m.DstQPN)) {
-			extra += n.prof.QPCMissPenalty
-		}
-		qp := n.qps[m.DstQPN]
-		if qp == nil {
-			// Unknown QPN: the tell-tale of a QP-number-guessing sweep.
-			// Benign traffic never produces one (connections are wired before
-			// traffic flows), so the counter is a pure abuse marker.
-			n.counters.RxBadQP++
-			n.eng.After(extra, func() { n.respond(m, StatusBadQP, nil, 0) })
-			return
-		}
-		switch m.Op {
-		case OpSend:
-			n.eng.After(extra, func() { n.completeSend(qp, m, place) })
-		case OpWrite, OpRead, OpAtomicFAA, OpAtomicCAS:
-			n.eng.After(extra, func() { n.oneSided(qp, m, place) })
-		default:
-			n.eng.After(extra, func() { place(func() { n.respond(m, StatusRemoteAccessError, nil, 0) }) })
-		}
-	})
+	// Encryption profiles decrypt/authenticate the inbound payload on the
+	// responder PU (for READs this is the outbound data being enciphered).
+	service := n.prof.RxPUTime*sim.Duration(pkts) + n.encCharge(m.Length)
+	enter := func() {
+		n.rxPU.Submit(service, 0, func() {
+			extra := sim.Duration(0)
+			if n.ResponderDelay != nil {
+				extra = n.ResponderDelay()
+			}
+			// QPC lookup: a cold QP context costs an ICM fetch.
+			if !n.qpc.Access(QPCtxKey(m.DstQPN)) {
+				extra += n.prof.QPCMissPenalty
+			}
+			qp := n.qps[m.DstQPN]
+			if qp == nil {
+				// Unknown QPN: the tell-tale of a QP-number-guessing sweep.
+				// Benign traffic never produces one (connections are wired before
+				// traffic flows), so the counter is a pure abuse marker.
+				n.counters.RxBadQP++
+				n.eng.After(extra, func() { n.respond(m, StatusBadQP, nil, 0) })
+				return
+			}
+			switch m.Op {
+			case OpSend:
+				n.eng.After(extra, func() { n.completeSend(qp, m, place) })
+			case OpWrite, OpRead, OpAtomicFAA, OpAtomicCAS:
+				n.eng.After(extra, func() { n.oneSided(qp, m, place) })
+			default:
+				n.eng.After(extra, func() { place(func() { n.respond(m, StatusRemoteAccessError, nil, 0) }) })
+			}
+		})
+	}
+	// Isolation profiles gate responder-PU entry on the tenant's credit
+	// pool. A retransmitted frame re-entering the pipeline while the
+	// original still holds its admission (m is the same object on both
+	// paths) keeps the original credit instead of taking a second one, so
+	// respond()'s exactly-once release stays balanced under loss.
+	if m.admitted {
+		enter()
+		return
+	}
+	m.admitted = n.isoOn
+	n.isoAdmit(n.tenantOf(m.DstQPN), enter)
 }
 
 // completeSend lands an inbound SEND in the QP's receive queue. The recv
@@ -1050,6 +1158,13 @@ func (n *NIC) oneSided(qp *qpState, m *Message, place func(func())) {
 
 // respond sends a response back through the responder ring (class 1).
 func (n *NIC) respond(req *Message, st Status, data []byte, atomicOrig uint64) {
+	// Release the tenant's ISO credit first, before the unroutable-request
+	// early return below: every admitted request reaches respond() exactly
+	// once, so this is the one release point.
+	if req.admitted {
+		req.admitted = false
+		n.isoRelease(n.tenantOf(req.DstQPN))
+	}
 	n.counters.Responses++
 	if st != StatusOK {
 		n.counters.NAKs++
@@ -1129,7 +1244,13 @@ func (n *NIC) handleResponse(m *Message) {
 	// GC; only response frames, which the requester provably owns once
 	// delivered, go back on the free list.
 	p.msg = nil
-	n.rxPU.Submit(n.prof.RxPUTime, 0, func() {
+	// Encryption profiles decrypt an inbound READ payload on the requester's
+	// responder PU before it can land in host memory.
+	var encExtra sim.Duration
+	if p.wqe.Op == OpRead && st == StatusOK {
+		encExtra = n.encCharge(p.wqe.Length)
+	}
+	n.rxPU.Submit(n.prof.RxPUTime+encExtra, 0, func() {
 		finish := func() {
 			n.hostDMA.Submit(n.dmaTransferTime(32)+n.prof.CQEWriteTime, 0, func() {
 				if qp != nil {

@@ -74,6 +74,46 @@ type Profile struct {
 	NoCBoostPPS   float64      // offered-load threshold (msgs/us) that activates boost
 	NoCSmallMsg   int          // only messages <= this size count towards activation
 	EgressArbTime sim.Duration // per-packet decision time of the egress arbiter
+
+	// Strategy selection (the seam ROADMAP item 5 asks for). The zero
+	// values select the legacy strict arbiter and empirical TPU, so the
+	// paper profiles above stay byte-identical without naming them.
+	ArbiterKind ArbiterKind
+	TPUKind     TPUKind
+
+	// Base names the paper profile a derived (hardened) profile was built
+	// from; empty for the paper profiles themselves. Channel calibration
+	// tables key on it so CX5-ISO measures with CX5's modulation
+	// parameters rather than silently falling into another adapter's.
+	Base string
+
+	// Isolation (CX5-ISO) knobs, inert unless ArbiterKind selects DWRR.
+	// ISOWeights apportions egress bandwidth across tenant slots (zero
+	// entries clamp to 1); ISOQuantum is the DWRR byte quantum; ISOCredits
+	// caps each tenant's outstanding responder-PU admissions, partitioning
+	// the processing complex into per-tenant credit pools.
+	ISOWeights [MaxTenants]int
+	ISOQuantum int
+	ISOCredits int
+
+	// Encryption-latency knobs (the AES-in-RDMA pricing study): when
+	// non-zero, every verb pays EncPerMsg plus EncPerKB per KB of payload
+	// on both the requester and responder processing paths. Zero disables
+	// the model entirely — the paper profiles keep it at zero.
+	EncPerMsg sim.Duration
+	EncPerKB  sim.Duration
+}
+
+// encTime prices AES for one message of the given payload size.
+func (p Profile) encTime(bytes int) sim.Duration {
+	if p.EncPerMsg == 0 && p.EncPerKB == 0 {
+		return 0
+	}
+	d := p.EncPerMsg
+	if bytes > 0 {
+		d += p.EncPerKB * sim.Duration(bytes) / 1024
+	}
+	return d
 }
 
 // CX4, CX5 and CX6 reproduce Table III's adapters. The generation-to-
@@ -133,8 +173,77 @@ var (
 	}
 )
 
-// Profiles lists the modelled adapters in paper order.
-var Profiles = []Profile{CX4, CX5, CX6}
+// baseName returns the paper profile a derived profile calibrates against.
+func baseName(p Profile) string {
+	if p.Base != "" {
+		return p.Base
+	}
+	return p.Name
+}
+
+// Isolated derives an isolation-hardened variant of a paper profile, the
+// GLSVLSI'23 TX architecture: DWRR egress scheduling over tenants with
+// equal weights, per-tenant responder credit pools, and no shared-clock NoC
+// boost (the boost is a cross-tenant amplifier — KF2's carrier — so the
+// hardened part pins the NoC at its base clock).
+func Isolated(p Profile) Profile {
+	iso := p
+	iso.Name = p.Name + "-ISO"
+	iso.Base = baseName(p)
+	iso.ArbiterKind = ArbiterDWRR
+	for i := range iso.ISOWeights {
+		iso.ISOWeights[i] = 1
+	}
+	iso.ISOQuantum = 2048
+	iso.ISOCredits = 8
+	iso.NoCBoost = 1.0
+	return iso
+}
+
+// WithConstTPU returns p with the constant-time TPU selected — the
+// Section VII hardware-partitioning mitigation as a profile property.
+func WithConstTPU(p Profile) Profile {
+	ct := p
+	ct.Name = p.Name + "+ctTPU"
+	ct.Base = baseName(p)
+	ct.TPUKind = TPUConstTime
+	return ct
+}
+
+// WithAES returns p with the AES-per-verb encryption latency enabled. The
+// constants follow the AES-in-RDMA measurement study's shape: a fixed
+// per-message setup cost plus a per-KB streaming cost (~50 ns/KB models a
+// pipelined AES-GCM engine at ~20 GB/s).
+func WithAES(p Profile) Profile {
+	enc := p
+	enc.Name = p.Name + "+AES"
+	enc.Base = baseName(p)
+	enc.EncPerMsg = 60 * sim.Nanosecond
+	enc.EncPerKB = 51 * sim.Nanosecond
+	return enc
+}
+
+// CX5ISO is the isolation-hardened ConnectX-5: the defense-grid baseline
+// variant (defgrid adds const-TPU and AES on top of it).
+var CX5ISO = Isolated(CX5)
+
+// PaperProfiles lists the paper's adapters in Table III order. Experiment
+// sweeps that reproduce the paper's figures iterate these — the hardened
+// profiles deliberately break the channels those figures demonstrate.
+var PaperProfiles = []Profile{CX4, CX5, CX6}
+
+// Profiles is the CLI-selectable profile registry: the paper adapters plus
+// the isolation-hardened CX5-ISO.
+var Profiles = []Profile{CX4, CX5, CX6, CX5ISO}
+
+// ProfileNames returns the registry names for error messages and usage text.
+func ProfileNames() []string {
+	names := make([]string, len(Profiles))
+	for i, p := range Profiles {
+		names[i] = p.Name
+	}
+	return names
+}
 
 // ProfileByName returns the profile for a name like "CX-5", "cx5" or
 // "ConnectX-5"; ok is false for unknown names.
@@ -146,6 +255,8 @@ func ProfileByName(name string) (Profile, bool) {
 		return CX5, true
 	case "cx6", "connectx6":
 		return CX6, true
+	case "cx5iso", "connectx5iso":
+		return CX5ISO, true
 	}
 	return Profile{}, false
 }

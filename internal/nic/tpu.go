@@ -22,9 +22,10 @@ type TPU struct {
 	// ExtraService, when set, adds defensive service-time noise to every
 	// translation (the Section VII noise mitigation).
 	ExtraService func() sim.Duration
-	// constantTime pads every translation to the worst case (the Section
-	// VII hardware-partitioning mitigation); see SetConstantTime.
-	constantTime bool
+	// strat computes the deterministic service core; see TPUStrategy. The
+	// profile selects it at construction and SetConstantTime swaps it at
+	// runtime (the Section VII hardware-partitioning mitigation).
+	strat TPUStrategy
 
 	// Pipeline state: the previous translation's bank and MR, which create
 	// the relative-offset and MR-switch effects.
@@ -44,6 +45,7 @@ func NewTPU(p Profile, rng *rand.Rand) *TPU {
 		p:     p,
 		noise: sim.NewNoise(rng, p.TPUNoiseSig, p.TPUSpike, p.TPUSpikeP),
 		mtt:   NewCache(p.MTTCacheEntries, p.MTTCacheWays),
+		strat: tpuFor(p),
 	}
 }
 
@@ -114,62 +116,19 @@ func (t *TPU) bank(offset uint64) int {
 }
 
 // Translate returns the service time for one request and advances pipeline
-// state. The components are:
+// state. The deterministic core comes from the profile's TPUStrategy — for
+// the empirical surface:
 //
 //	base per beat + offset component per beat (+ beat stride)
 //	+ bank conflict against the previous translation (relative offset effect)
 //	+ MR switch penalty when the MR changed (inter-MR effect, Fig 5)
 //	+ MTT miss penalty when the page's translation is not cached
-//	+ seeded jitter.
+//
+// — and every strategy then gets the same seeded jitter, defensive extra
+// service and 1 ns floor, in that order, so the noise stream advances
+// identically regardless of strategy.
 func (t *TPU) Translate(req Request) sim.Duration {
-	d := sim.Duration(0)
-	nb := t.beats(req.Length)
-	if t.constantTime {
-		// Partitioned/fixed hardware: no data-dependent variation at all.
-		d = t.worstCaseBeat() * sim.Duration(nb)
-		d += t.noise.Sample()
-		if t.ExtraService != nil {
-			d += t.ExtraService()
-		}
-		if d < sim.Nanosecond {
-			d = sim.Nanosecond
-		}
-		t.served++
-		return d
-	}
-	for i := 0; i < nb; i++ {
-		beatOff := req.Offset + uint64(i*t.p.TPUBeatBytes)
-		d += t.p.TPUBase + t.OffsetComponent(beatOff)
-	}
-
-	b := t.bank(req.Offset)
-	if t.havePrev && b == t.lastBank {
-		d += t.p.TPUBankCost
-		t.conflicts++
-	}
-	if t.havePrev && req.MRKey != t.lastMR {
-		d += t.p.MRSwitchCost
-		t.mrSwitch++
-	}
-	t.lastBank = b
-	t.lastMR = req.MRKey
-	t.havePrev = true
-
-	// MTT lookup per page touched (usually one: MRs sit on 2 MB pages).
-	ps := req.PageSize
-	if ps == 0 {
-		ps = 2 << 20
-	}
-	first := (req.MRBase + req.Offset) / ps
-	last := (req.MRBase + req.Offset + uint64(max(req.Length, 1)) - 1) / ps
-	for page := first; page <= last; page++ {
-		key := MTTKey(req.MRKey, page)
-		if !t.mtt.Access(key) {
-			d += t.p.MTTMissPenalty
-			t.mttMisses++
-		}
-	}
-
+	d := t.strat.Service(t, req)
 	d += t.noise.Sample()
 	if t.ExtraService != nil {
 		d += t.ExtraService()
@@ -198,15 +157,26 @@ func max(a, b int) int {
 	return b
 }
 
-// ConstantTime, when enabled, makes every translation take the worst-case
+// SetConstantTime, when enabled, makes every translation take the worst-case
 // service time for its beat count — the Section VII "hardware partitioning /
 // fixing hardware features" mitigation: with no offset-, bank- or MR-
 // dependent variation left, Grain-III/IV channels lose their carrier. The
-// cost is that every request pays the slowest path.
-func (t *TPU) SetConstantTime(on bool) { t.constantTime = on }
+// cost is that every request pays the slowest path. It swaps the TPU's
+// strategy at runtime, so a profile-selected constant-time TPU and the
+// defense toggle share one implementation.
+func (t *TPU) SetConstantTime(on bool) {
+	if on {
+		t.strat = constTimeTPU{}
+	} else {
+		t.strat = empiricalTPU{}
+	}
+}
 
 // ConstantTimeEnabled reports whether the mitigation is active.
-func (t *TPU) ConstantTimeEnabled() bool { return t.constantTime }
+func (t *TPU) ConstantTimeEnabled() bool { return t.strat.Kind() == TPUConstTime }
+
+// Strategy reports the active translation strategy kind.
+func (t *TPU) Strategy() TPUKind { return t.strat.Kind() }
 
 // worstCaseBeat is the slowest possible per-beat service: base plus the full
 // sawtooth, no alignment drops, plus a bank conflict and an MR switch.

@@ -1,0 +1,106 @@
+package nic
+
+import "github.com/thu-has/ragnar/internal/sim"
+
+// TPUKind names the translation-service strategy a Profile composes. The
+// zero value is the legacy empirical surface, so profiles that predate the
+// strategy seam keep byte-identical service times.
+type TPUKind int
+
+const (
+	// TPUEmpirical is the measured ConnectX surface: offset drops, the
+	// 2048 B sawtooth, bank conflicts, MR switches and MTT misses — the
+	// carrier for the paper's Grain-III/IV channels.
+	TPUEmpirical TPUKind = iota
+	// TPUConstTime pads every translation to the worst case per beat,
+	// the Section VII hardware-partitioning mitigation: no data-dependent
+	// variation is left, so the KF4 offset channel loses its carrier.
+	TPUConstTime
+)
+
+func (k TPUKind) String() string {
+	switch k {
+	case TPUEmpirical:
+		return "empirical"
+	case TPUConstTime:
+		return "const-time"
+	}
+	return "unknown"
+}
+
+// TPUStrategy computes the deterministic part of one translation's service
+// time and advances the TPU's pipeline state. The jitter sample, defensive
+// ExtraService, the 1 ns floor and the served counter stay in
+// TPU.Translate so every strategy draws from the noise stream in the same
+// order (the determinism contract goldens depend on).
+type TPUStrategy interface {
+	Kind() TPUKind
+	Service(t *TPU, req Request) sim.Duration
+}
+
+// empiricalTPU is the legacy data-dependent path, moved verbatim from the
+// old Translate body. All mutable state (pipeline history, MTT cache,
+// effect counters) lives on the TPU, so the strategy itself is stateless
+// and shareable.
+type empiricalTPU struct{}
+
+func (empiricalTPU) Kind() TPUKind { return TPUEmpirical }
+
+func (empiricalTPU) Service(t *TPU, req Request) sim.Duration {
+	d := sim.Duration(0)
+	nb := t.beats(req.Length)
+	for i := 0; i < nb; i++ {
+		beatOff := req.Offset + uint64(i*t.p.TPUBeatBytes)
+		d += t.p.TPUBase + t.OffsetComponent(beatOff)
+	}
+
+	b := t.bank(req.Offset)
+	if t.havePrev && b == t.lastBank {
+		d += t.p.TPUBankCost
+		t.conflicts++
+	}
+	if t.havePrev && req.MRKey != t.lastMR {
+		d += t.p.MRSwitchCost
+		t.mrSwitch++
+	}
+	t.lastBank = b
+	t.lastMR = req.MRKey
+	t.havePrev = true
+
+	// MTT lookup per page touched (usually one: MRs sit on 2 MB pages).
+	ps := req.PageSize
+	if ps == 0 {
+		ps = 2 << 20
+	}
+	first := (req.MRBase + req.Offset) / ps
+	last := (req.MRBase + req.Offset + uint64(max(req.Length, 1)) - 1) / ps
+	for page := first; page <= last; page++ {
+		key := MTTKey(req.MRKey, page)
+		if !t.mtt.Access(key) {
+			d += t.p.MTTMissPenalty
+			t.mttMisses++
+		}
+	}
+	return d
+}
+
+// constTimeTPU charges the worst case for every beat regardless of offset,
+// bank history or MR identity. No pipeline state advances and no effect
+// counters move: a snoop on the TPU sees a flat surface.
+type constTimeTPU struct{}
+
+func (constTimeTPU) Kind() TPUKind { return TPUConstTime }
+
+func (constTimeTPU) Service(t *TPU, req Request) sim.Duration {
+	return t.worstCaseBeat() * sim.Duration(t.beats(req.Length))
+}
+
+// tpuFor instantiates the profile's translation strategy.
+func tpuFor(p Profile) TPUStrategy {
+	switch p.TPUKind {
+	case TPUConstTime:
+		return constTimeTPU{}
+	default:
+		return empiricalTPU{}
+	}
+}

@@ -20,7 +20,7 @@ func TestEvictionSetMining(t *testing.T) {
 }
 
 func TestTransmitRoundTrip(t *testing.T) {
-	for _, p := range nic.Profiles {
+	for _, p := range nic.PaperProfiles {
 		ch, err := New(p, 3)
 		if err != nil {
 			t.Fatal(err)

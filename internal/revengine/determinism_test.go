@@ -49,7 +49,7 @@ func TestPrioritySweepDeterministicAcrossWorkers(t *testing.T) {
 		QPsB:           []int{2},
 		IncludeReverse: true,
 	}
-	for _, p := range nic.Profiles {
+	for _, p := range nic.PaperProfiles {
 		want := PrioritySweep(p, space, 1)
 		if len(want) != space.Size() {
 			t.Fatalf("%s: %d cells, want %d", p.Name, len(want), space.Size())

@@ -17,6 +17,29 @@ type Server struct {
 	// Preempt gives strict priority to requests with a lower class value.
 	// Classless (0) requests are FIFO among themselves.
 	classed bool
+	// arb, when non-nil, picks the next queued request at every dequeue
+	// instead of the queue-order/class-order disciplines above. metas runs
+	// parallel to queue (same indices) and only exists for arbitrated
+	// servers.
+	arb   Arbiter
+	metas []ReqMeta
+}
+
+// ReqMeta is the arbiter-visible description of one queued request. Class
+// mirrors the priority-server class; Tenant and Bytes feed weighted
+// schedulers that apportion service across traffic sources.
+type ReqMeta struct {
+	Class  int
+	Tenant int
+	Bytes  int
+}
+
+// Arbiter selects which queued request an arbitrated server serves next.
+// Pick is called with the metadata of every waiting request (index-aligned
+// with the internal queue) and returns the index to serve; it must not
+// retain q. Out-of-range returns fall back to index 0.
+type Arbiter interface {
+	Pick(q []ReqMeta) int
 }
 
 type serverReq struct {
@@ -38,6 +61,19 @@ func NewServer(eng *Engine, name string, slots int) *Server {
 func NewPriorityServer(eng *Engine, name string, slots int) *Server {
 	s := NewServer(eng, name, slots)
 	s.classed = true
+	return s
+}
+
+// NewArbitratedServer returns a server whose next request is chosen by arb
+// at every dequeue. The queue itself stays FIFO-ordered by arrival, so an
+// arbiter that always picks the first index of the minimum class reproduces
+// the priority server's schedule exactly.
+func NewArbitratedServer(eng *Engine, name string, slots int, arb Arbiter) *Server {
+	if arb == nil {
+		panic("sim: arbitrated server needs an arbiter")
+	}
+	s := NewServer(eng, name, slots)
+	s.arb = arb
 	return s
 }
 
@@ -67,8 +103,13 @@ func (s *Server) Utilization() float64 {
 }
 
 // Submit enqueues a request requiring the given service time; done fires when
-// service completes. Class is only meaningful for priority servers.
+// service completes. Class is only meaningful for priority and arbitrated
+// servers.
 func (s *Server) Submit(service Duration, class int, done func()) {
+	if s.arb != nil {
+		s.SubmitMeta(service, ReqMeta{Class: class}, done)
+		return
+	}
 	if service < 0 {
 		panic("sim: negative service time")
 	}
@@ -91,6 +132,25 @@ func (s *Server) Submit(service Duration, class int, done func()) {
 	s.queue = append(s.queue, req)
 }
 
+// SubmitMeta enqueues a request on an arbitrated server with the full
+// arbiter-visible metadata. A request that finds a free slot starts
+// immediately and is never shown to the arbiter.
+func (s *Server) SubmitMeta(service Duration, meta ReqMeta, done func()) {
+	if s.arb == nil {
+		panic("sim: SubmitMeta on a non-arbitrated server")
+	}
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	req := serverReq{service: service, class: meta.Class, done: done, posted: s.eng.Now()}
+	if s.busy < s.slots {
+		s.start(req)
+		return
+	}
+	s.queue = append(s.queue, req)
+	s.metas = append(s.metas, meta)
+}
+
 func (s *Server) start(req serverReq) {
 	if s.busy == 0 {
 		s.lastBusy = s.eng.Now()
@@ -106,8 +166,17 @@ func (s *Server) start(req serverReq) {
 			req.done()
 		}
 		if len(s.queue) > 0 && s.busy < s.slots {
-			next := s.queue[0]
-			copy(s.queue, s.queue[1:])
+			i := 0
+			if s.arb != nil {
+				i = s.arb.Pick(s.metas)
+				if i < 0 || i >= len(s.queue) {
+					i = 0
+				}
+				copy(s.metas[i:], s.metas[i+1:])
+				s.metas = s.metas[:len(s.metas)-1]
+			}
+			next := s.queue[i]
+			copy(s.queue[i:], s.queue[i+1:])
 			s.queue = s.queue[:len(s.queue)-1]
 			s.start(next)
 		}

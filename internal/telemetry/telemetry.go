@@ -47,6 +47,11 @@ type Snapshot struct {
 	CtxEvictions uint64 // contexts evicted under capacity pressure
 	MTTMisses    uint64 // translation-cache misses
 	CQOverruns   uint64 // completions dropped at full CQs
+
+	// Encryption observables (AES-per-verb profiles only; structurally
+	// zero everywhere else).
+	EncOps   uint64 // messages that paid the AES latency
+	EncBytes uint64 // payload bytes enciphered
 }
 
 // Snap reads the current counter state of a NIC.
@@ -78,6 +83,8 @@ func Snap(eng *sim.Engine, n *nic.NIC) Snapshot {
 	s.CtxEvictions = c.CtxEvictions
 	s.MTTMisses = c.MTTMisses
 	s.CQOverruns = c.CQOverruns
+	s.EncOps = c.EncOps
+	s.EncBytes = c.EncBytes
 	for k, v := range c.RxMsgs {
 		s.PerOpcode[k] = v
 	}
@@ -115,6 +122,8 @@ func Delta(prev, cur Snapshot) Snapshot {
 	d.CtxEvictions = cur.CtxEvictions - prev.CtxEvictions
 	d.MTTMisses = cur.MTTMisses - prev.MTTMisses
 	d.CQOverruns = cur.CQOverruns - prev.CQOverruns
+	d.EncOps = cur.EncOps - prev.EncOps
+	d.EncBytes = cur.EncBytes - prev.EncBytes
 	for i := range cur.PerTC {
 		d.PerTC[i] = cur.PerTC[i] - prev.PerTC[i]
 		d.PFCPauses[i] = cur.PFCPauses[i] - prev.PFCPauses[i]

@@ -80,8 +80,13 @@ var (
 	CX5 = nic.CX5
 	// CX6 is the ConnectX-6 model (200 Gbps).
 	CX6 = nic.CX6
-	// Profiles lists the adapters in paper order.
+	// CX5ISO is the isolation-hardened ConnectX-5 variant (DWRR egress,
+	// per-tenant responder credit pools, no NoC boost).
+	CX5ISO = nic.CX5ISO
+	// Profiles lists the selectable adapters: the paper's three plus CX5-ISO.
 	Profiles = nic.Profiles
+	// PaperProfiles lists only the paper's adapters in Table III order.
+	PaperProfiles = nic.PaperProfiles
 )
 
 // ProfileByName resolves "cx4"/"ConnectX-5"-style names.

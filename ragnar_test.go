@@ -73,8 +73,15 @@ func TestPublicProfileLookup(t *testing.T) {
 	if !ok || p.LineRateGbps != 200 {
 		t.Fatalf("lookup = %+v %v", p, ok)
 	}
-	if len(ragnar.Profiles) != 3 {
+	if len(ragnar.Profiles) != 4 {
 		t.Fatal("profile list incomplete")
+	}
+	if len(ragnar.PaperProfiles) != 3 {
+		t.Fatal("paper profile list incomplete")
+	}
+	iso, ok := ragnar.ProfileByName("cx5-iso")
+	if !ok || iso.Name != "ConnectX-5-ISO" {
+		t.Fatalf("iso lookup = %+v %v", iso, ok)
 	}
 }
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Fuzz-target enumeration check. `go test -fuzz` accepts a single matching
+# target per invocation, so the fuzz-smoke CI job lists every Fuzz* function
+# explicitly. This script fails when a fuzz target exists in the tree but is
+# missing from that enumeration (a new target that would silently never
+# smoke), and when the enumeration names a target that no longer exists (a
+# rename that would silently fuzz nothing).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+wf=.github/workflows/ci.yml
+bad=0
+
+targets=$(grep -rhoE '^func Fuzz[A-Za-z0-9_]+\(' --include='*_test.go' . |
+	sed -E 's/^func (Fuzz[A-Za-z0-9_]+)\(/\1/' | sort -u)
+
+for t in $targets; do
+	if ! grep -qF -- "-fuzz '^${t}\$'" "$wf"; then
+		echo "fuzzcheck: $t is not enumerated in the $wf fuzz-smoke job" >&2
+		bad=1
+	fi
+done
+
+# Reverse direction: every enumerated target must still exist.
+for t in $(grep -- '-fuzz' "$wf" | grep -oE 'Fuzz[A-Za-z0-9_]+' | sort -u); do
+	if ! printf '%s\n' "$targets" | grep -qx -- "$t"; then
+		echo "fuzzcheck: $wf smokes $t, which no longer exists in the tree" >&2
+		bad=1
+	fi
+done
+
+if [ "$bad" -ne 0 ]; then
+	exit 1
+fi
+echo "fuzzcheck: all $(printf '%s\n' "$targets" | grep -c .) fuzz targets enumerated in CI"
