@@ -50,9 +50,9 @@ bench:
 # (BenchmarkEngineParallelXfer), so the window protocol's stage/drain/deliver
 # cycle is gated alongside the serial scheduler.
 benchguard:
-	$(GO) test -run '^$$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward|BenchmarkContextCacheHit|BenchmarkLinkAdversaryOff|BenchmarkArbiterPick)' \
-		-benchtime 1000x -benchmem ./internal/sim ./internal/sim/parallel ./internal/trace ./internal/fabric ./internal/nic \
-		| $(GO) run ./scripts/benchguard.go -min 11
+	$(GO) test -run '^$$' -bench '^(BenchmarkEngine|BenchmarkEmitDisabled|BenchmarkSwitchForward|BenchmarkContextCacheHit|BenchmarkLinkAdversaryOff|BenchmarkCQPollInto|BenchmarkArbiterPick)' \
+		-benchtime 1000x -benchmem ./internal/sim ./internal/sim/parallel ./internal/trace ./internal/fabric ./internal/nic ./internal/verbs \
+		| $(GO) run ./scripts/benchguard.go -min 12
 
 perf:
 	./scripts/bench.sh

@@ -6,7 +6,7 @@
 //
 // Experiments: table1 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 // table5 lossgrid tenants exhaust nvmf pythia fig12 fig13 defense defgrid
-// clos all
+// redn clos all
 //
 // The trace subcommand re-runs an experiment rig with the flight recorder
 // attached and exports the event stream:
@@ -43,7 +43,7 @@ func main() {
 	}
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|tenants|exhaust|nvmf|pythia|fig12|fig13|defense|defgrid|clos|all>")
+		fmt.Fprintln(os.Stderr, "usage: ragnar [flags] <table1|table3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table5|lossgrid|tenants|exhaust|nvmf|pythia|fig12|fig13|defense|defgrid|redn|clos|all>")
 		fmt.Fprintln(os.Stderr, "       ragnar [flags] trace [-o out.json] [-text] <fig9|intermr|intramr|lossgrid>")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -63,7 +63,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{"table1", "table3", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "table5", "lossgrid", "tenants", "exhaust", "nvmf", "pythia", "fig12", "fig13", "defense", "defgrid", "clos"}
+			"fig9", "fig10", "fig11", "table5", "lossgrid", "tenants", "exhaust", "nvmf", "pythia", "fig12", "fig13", "defense", "defgrid", "redn", "clos"}
 	}
 	for _, exp := range args {
 		if err := run(exp, prof, *full, *seed, *perClass, *workers, *domains); err != nil {
@@ -219,6 +219,12 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers,
 			return err
 		}
 		return emit(r, r.Render)
+	case "redn":
+		r, err := experiments.Redn(prof, seed, workers)
+		if err != nil {
+			return err
+		}
+		return emit(r, r.Render)
 	case "clos":
 		r, err := experiments.Clos(prof, domains, full, seed, workers)
 		if err != nil {
@@ -226,7 +232,7 @@ func run(exp string, prof nic.Profile, full bool, seed int64, perClass, workers,
 		}
 		return emit(r, r.Render)
 	default:
-		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 lossgrid tenants exhaust nvmf pythia defense defgrid clos)")
+		return fmt.Errorf("unknown experiment (try table1 table3 fig4..fig13 table5 lossgrid tenants exhaust nvmf pythia defense defgrid redn clos)")
 	}
 	return nil
 }

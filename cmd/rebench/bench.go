@@ -14,8 +14,10 @@ import (
 	"github.com/thu-has/ragnar/internal/covert"
 	"github.com/thu-has/ragnar/internal/experiments"
 	"github.com/thu-has/ragnar/internal/fabric"
+	"github.com/thu-has/ragnar/internal/host"
 	"github.com/thu-has/ragnar/internal/lab"
 	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/rednlite"
 	"github.com/thu-has/ragnar/internal/sim"
 	parsim "github.com/thu-has/ragnar/internal/sim/parallel"
 )
@@ -23,7 +25,8 @@ import (
 // The bench subcommand is the repo's machine-readable perf baseline: it runs
 // the hot-path benchmarks through testing.Benchmark and emits one JSON
 // document per run, designed to be checked in as BENCH_<date>.json (see
-// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Ten probes:
+// scripts/bench.sh and EXPERIMENTS.md "Performance baseline"). Eleven
+// probes:
 //
 //   - engine-schedule-fire: raw scheduler cost, one self-rescheduling event
 //     (the same steady-state pattern the bench-guard CI job gates at
@@ -47,6 +50,10 @@ import (
 //     SENDs, target data-phase WRITE/READ, completion capsules — the ULP hot
 //     path the nvmf attack cells stress, including the per-QP placement gate
 //     on the responder;
+//   - redn-chain: a full RedN-lite offloaded branch — CAS gate, WAIT/ENABLE
+//     cross-QP doorbells, the self-modifying gate patch and the taken-arm
+//     write burst — assembled, launched and drained to completion (the SQ
+//     state-machine management pipeline hot);
 //   - lossgrid: the heaviest composite experiment (retransmission paths hot);
 //   - defgrid: the defense Pareto grid — the full attack battery against the
 //     CX5-ISO hardening ladder (DWRR arbitration, constant-time TPU and
@@ -284,6 +291,60 @@ func benchCmd(prof nic.Profile, seed int64, args []string) error {
 		}
 	})
 	doc.Benchmarks = append(doc.Benchmarks, record("nvmf-io", r, ioFired))
+
+	// RedN-lite chain steady state: one op assembles the offloaded branch
+	// (taken arm), launches it with one doorbell and drains the whole chain —
+	// CAS, both barriers, the gate self-modify, the ENABLE release and the
+	// unrolled write-burst loop all retire through the SQ state machine.
+	var chainFired uint64
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := lab.New(lab.Config{Profile: prof, Seed: seed + int64(i)})
+			mr, err := c.RegisterServerMR(2 << 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mainConn, err := c.Dial(0, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			branchConn, err := c.Dial(0, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			code, err := branchConn.Client.AllocPD().RegMR(1024*nic.SQSlotBytes, host.Page4K, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mainLane, err := rednlite.NewLane(mainConn.QP, mainConn.CQ, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			branchLane, err := rednlite.NewLane(branchConn.QP, branchConn.CQ, code)
+			if err != nil {
+				b.Fatal(err)
+			}
+			flag := mr.Bytes()
+			flag[0] = 7 // taken
+			branch, err := rednlite.NewBranch(branchLane)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 4096)
+			branch.Loop(16, func(ch *rednlite.Chain) {
+				for k := 0; k < 4; k++ {
+					ch.Write(payload, mr.Describe(uint64(512<<10+k*4096)), 4096)
+				}
+			})
+			if err := rednlite.New(mainLane).If(mr.Describe(0), 7, branch).Launch(); err != nil {
+				b.Fatal(err)
+			}
+			c.Run()
+			chainFired = c.Eng.Fired()
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("redn-chain", r, chainFired))
 
 	r = testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()

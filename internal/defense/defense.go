@@ -97,6 +97,22 @@ func features(d Snapshot) map[string]float64 {
 	if d.EncBytes > 0 {
 		f["enc_bytes"] = float64(d.EncBytes)
 	}
+	// RedN offload observables, non-zero only when WAIT/ENABLE chains run.
+	// A NIC-local monitor that sees them directly separates chain workloads
+	// trivially; the redn experiment's point is that the chain's branch
+	// pattern ALSO leaks to a co-located tenant that sees none of these.
+	if d.WaitWQEs > 0 {
+		f["wait_wqes"] = float64(d.WaitWQEs)
+	}
+	if d.EnableWQEs > 0 {
+		f["enable_wqes"] = float64(d.EnableWQEs)
+	}
+	if d.WaitWakes > 0 {
+		f["wait_wakes"] = float64(d.WaitWakes)
+	}
+	if d.SelfModifies > 0 {
+		f["self_modifies"] = float64(d.SelfModifies)
+	}
 	for k, v := range d.PerOpcode {
 		f["op/"+k.String()] = float64(v)
 	}

@@ -149,6 +149,8 @@ func (c *Cluster) Warm(conn *Conn, mr *verbs.MR) error {
 		return err
 	}
 	c.Run()
-	conn.CQ.Poll(conn.CQ.Len())
+	var scratch [16]nic.Completion
+	for conn.CQ.PollInto(scratch[:]) > 0 {
+	}
 	return nil
 }

@@ -14,13 +14,17 @@ import (
 // Opcode is an RDMA operation code (the Grain-II parameter).
 type Opcode int
 
-// Supported opcodes.
+// Supported opcodes. OpWait and OpEnable are management WQEs (the RedN
+// chain-sequencing verbs): they execute on the local SQ state machine and
+// never reach the wire.
 const (
 	OpWrite Opcode = iota
 	OpRead
 	OpSend
 	OpAtomicFAA
 	OpAtomicCAS
+	OpWait
+	OpEnable
 )
 
 func (o Opcode) String() string {
@@ -35,6 +39,10 @@ func (o Opcode) String() string {
 		return "ATOMIC_FAA"
 	case OpAtomicCAS:
 		return "ATOMIC_CAS"
+	case OpWait:
+		return "WAIT"
+	case OpEnable:
+		return "ENABLE"
 	}
 	return fmt.Sprintf("OP(%d)", int(o))
 }
@@ -114,6 +122,20 @@ type WQE struct {
 	TC         int
 	CompareAdd uint64
 	Swap       uint64
+
+	// Management fields (OpWait/OpEnable): the counter a WAIT blocks on and
+	// its threshold; the QP an ENABLE advances and by how many entries
+	// (0 = everything staged).
+	WaitCQ      *CQCounter
+	WaitThresh  uint64
+	TargetQPN   uint32
+	EnableCount int
+
+	// Local landing target for READs: when LocalKey names a registered MR,
+	// the payload is also placed at LocalAddr inside it (and may patch a
+	// registered SQ window there). Zero = host-buffer-only, the legacy path.
+	LocalKey  uint32
+	LocalAddr uint64
 }
 
 // Completion is delivered to the verbs layer when a WQE finishes.
@@ -177,6 +199,15 @@ type qpState struct {
 	atomicReplayOK  bool   // duplicate-atomic replay record (IB replay buffer)
 	atomicReplayPSN uint32
 	atomicReplayVal uint64
+
+	// Send-queue state machine (see sq.go): the staged ring, the doorbell
+	// cursor (entries below sqEnabled may execute), whether the head WAIT is
+	// armed on a counter, and the CQ consumer counter completions bump.
+	sq        []*WQE
+	sqHead    int
+	sqEnabled int
+	sqArmed   bool
+	cqc       *CQCounter
 
 	// In-order placement gate (the IB responder memory-ordering rule): the
 	// ULP-visible effect of each accepted request — memory placement, recv
@@ -286,6 +317,15 @@ type Counters struct {
 	// are structurally zero on profiles without the encryption knobs.
 	EncOps   uint64
 	EncBytes uint64
+
+	// RedN offload observables (the chain surface): WAIT/ENABLE management
+	// WQEs executed, armed WAITs woken by a CQ-counter bump, and staged
+	// WQEs rewritten in place by a write landing in a registered SQ window.
+	// All structurally zero outside offloaded-chain workloads.
+	WaitWQEs     uint64
+	EnableWQEs   uint64
+	WaitWakes    uint64
+	SelfModifies uint64
 }
 
 func newCounters() Counters {
@@ -326,6 +366,11 @@ type NIC struct {
 	mrs     map[uint32]*MRInfo
 	pend    map[uint64]*pending
 	nextSeq uint64
+
+	// sqWins holds the registered SQ self-modification windows (see sq.go).
+	// Empty outside offload workloads: every patch hook gates on its length,
+	// so the legacy datapath never pays for the feature.
+	sqWins []sqWindow
 
 	// Tenant attribution for isolation profiles: qpTenant maps a local QPN
 	// to its tenant slot (unmapped QPs fold into slot 0). The lab layer
@@ -647,6 +692,19 @@ func (n *NIC) DestroyQP(qpn uint32) error {
 		delete(n.pend, p.seq)
 	}
 	qp.outstanding = nil
+	// Abandon the staged ring: a WAIT armed on a counter may still fire its
+	// wake, but with head == enabled == 0 the advance is a no-op. Windows
+	// shadowing the QP are dropped with it.
+	qp.sq, qp.sqHead, qp.sqEnabled = nil, 0, 0
+	if len(n.sqWins) > 0 {
+		kept := n.sqWins[:0]
+		for _, w := range n.sqWins {
+			if w.qp != qp {
+				kept = append(kept, w)
+			}
+		}
+		n.sqWins = kept
+	}
 	delete(n.qps, qpn)
 	return nil
 }
@@ -731,28 +789,32 @@ func (n *NIC) dma(bytes int, reg *host.Region, done func()) {
 	})
 }
 
-// PostSend submits a WQE on a QP. Completion (success or failure) arrives
-// through the QP's completion callback.
+// PostSend submits a WQE on a QP: it stages the entry and rings the
+// doorbell over it in one call, so the entry dispatches synchronously here
+// (behind any earlier staged-but-unexecuted entries) exactly as the
+// pre-state-machine post path did. Completion (success or failure) arrives
+// through the QP's completion callback. Callers that want post ≠ enable use
+// StageSend + RingDoorbell instead.
 func (n *NIC) PostSend(qpn uint32, wqe *WQE) error {
-	qp, ok := n.qps[qpn]
-	if !ok {
-		return fmt.Errorf("nic %s: unknown QP %d", n.Name, qpn)
+	qp, err := n.stageChecked(qpn, wqe)
+	if err != nil {
+		return err
 	}
-	if qp.peer == nil {
-		return fmt.Errorf("nic %s: QP %d not connected", n.Name, qpn)
-	}
-	if qp.failed {
-		return fmt.Errorf("nic %s: QP %d in error state (retry exhausted)", n.Name, qpn)
-	}
-	if wqe.TC < 0 || wqe.TC >= fabric.NumTCs {
-		return fmt.Errorf("nic %s: invalid TC %d", n.Name, wqe.TC)
-	}
+	n.encodeStaged(qp, len(qp.sq)-1)
+	n.ringQP(qp, 1)
+	return nil
+}
+
+// dispatchWQE launches one enabled wire WQE down the requester pipeline:
+// doorbell, SQE fetch (inline payload rides along), requester PU, launch.
+// This is the pre-refactor PostSend body — every event it schedules is
+// byte-identical to the old direct path (pinned by TestSQSeamByteIdentical).
+func (n *NIC) dispatchWQE(qp *qpState, wqe *WQE) {
 	qp.posted++
 	n.counters.TxMsgs[wqe.Op]++
-	n.counters.PerQPMsgs[qpn]++
+	n.counters.PerQPMsgs[qp.qpn]++
 	post := n.eng.Now()
 
-	// Doorbell, SQE fetch (inline payload rides along), requester PU.
 	fetchBytes := 64
 	inline := wqe.Op == OpWrite && wqe.Length <= n.prof.InlineMax
 	if inline {
@@ -772,7 +834,6 @@ func (n *NIC) PostSend(qpn uint32, wqe *WQE) error {
 			})
 		})
 	})
-	return nil
 }
 
 // launch builds the request message and hands it to the requester egress
@@ -1097,9 +1158,15 @@ func (n *NIC) oneSided(qp *qpState, m *Message, place func(func())) {
 			n.dma(m.Length, mr.Region, func() {
 				place(func() {
 					if mr.Region != nil && m.Data != nil {
-						if err := mr.Region.WriteAt(offset, m.Data[:min(len(m.Data), m.Length)]); err != nil {
+						wrote := min(len(m.Data), m.Length)
+						if err := mr.Region.WriteAt(offset, m.Data[:wrote]); err != nil {
 							n.respond(m, StatusRemoteAccessError, nil, 0)
 							return
+						}
+						// A write landing over a registered SQ window rewrites
+						// the staged WQEs it covers (RedN self-modification).
+						if len(n.sqWins) > 0 {
+							n.sqPatch(m.RemoteAddr, wrote)
 						}
 					}
 					if qp.onRecv != nil {
@@ -1265,15 +1332,22 @@ func (n *NIC) handleResponse(m *Message) {
 							PostTime: p.postTime, DoneTime: n.eng.Now(),
 						})
 					}
+					n.cqeDelivered(qp)
 				}
 				n.putPending(p)
 			})
 		}
 		if p.wqe.Op == OpRead && st == StatusOK {
-			// DMA the read payload into the host buffer.
+			// DMA the read payload into the host buffer. A READ with a
+			// LocalKey also lands in the named local MR — and may patch a
+			// registered SQ window there — strictly before its CQE fires,
+			// so a WAIT ordered behind this read observes the patch.
 			n.dma(p.wqe.Length, nil, func() {
 				if p.wqe.LocalData != nil && data != nil {
 					copy(p.wqe.LocalData, data)
+				}
+				if p.wqe.LocalKey != 0 && data != nil {
+					n.landLocal(p.wqe, data)
 				}
 				finish()
 			})

@@ -227,6 +227,7 @@ func (n *NIC) failQP(qp *qpState) {
 					PostTime: p.postTime, DoneTime: n.eng.Now(),
 				})
 			}
+			n.cqeDelivered(qp)
 			// The request copy may still be in flight (it likely timed out
 			// on the wire), so only the pending record is recycled — its
 			// message stays with the GC.

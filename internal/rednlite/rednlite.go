@@ -1,0 +1,274 @@
+// Package rednlite is a small RDMA-offload assembler in the style of RedN
+// ("RDMA is Turing complete, we just did not know it yet!", PAPERS.md): it
+// compiles conditional branches, bounded loops and remote pointer-chases
+// into pre-posted WQE chains built from the verbs layer's staged ring,
+// WAIT/ENABLE management verbs and SQ-window self-modification. Once a
+// chain is launched the host steps aside — every dependency is sequenced on
+// the NIC by CQ consumer counters and cross-QP doorbells, which is exactly
+// what makes the chain's data-dependent execution pattern a volatile
+// channel (the redn experiment measures it through the ULI prober).
+package rednlite
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/thu-has/ragnar/internal/nic"
+	"github.com/thu-has/ragnar/internal/verbs"
+)
+
+// FalseFloor is the contract value for a not-taken branch flag: a chain's
+// If() gate blocks forever when the flag word holds any value >= FalseFloor
+// (it is patched into a WAIT threshold, and no lane ever delivers 2^20
+// completions). Callers encode "false" as FalseFloor and "true" as the
+// expected compare value.
+const FalseFloor = uint64(1) << 20
+
+// Lane is one QP a chain executes on, with its dedicated CQ (the consumer
+// counter chains sequence on — sharing a CQ between lanes would make
+// Barrier thresholds meaningless) and, for lanes that self-modify, the
+// registered MR exposing the lane's send queue.
+type Lane struct {
+	QP   *verbs.QP
+	CQ   *verbs.CQ
+	Code *verbs.MR
+}
+
+// NewLane wires a lane: when code is non-nil it is registered as the QP's
+// SQ self-modification window.
+func NewLane(qp *verbs.QP, cq *verbs.CQ, code *verbs.MR) (*Lane, error) {
+	l := &Lane{QP: qp, CQ: cq, Code: code}
+	if code != nil {
+		if err := qp.ExposeSQ(code); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Chain assembles staged WQEs on one lane. Entries are staged immediately
+// as ops are added and enabled only by Launch (or by another chain's
+// enable), so a chain is fully pre-posted before it runs. Errors stick:
+// the first failed op poisons the chain and Launch reports it.
+type Chain struct {
+	lane   *Lane
+	base   uint64 // lane CQ consumer index at chain start
+	staged int    // entries this chain staged (== slot index of the next op)
+	ring   int    // entries Launch enables; 0 = everything staged
+	nextWR uint64
+	err    error
+}
+
+// New starts a chain on a lane. The lane's send queue must be empty: slot
+// indices (and therefore self-modification targets) are computed from the
+// chain's own op count.
+func New(l *Lane) *Chain {
+	c := &Chain{lane: l, base: l.CQ.ConsumerIndex(), nextWR: 1}
+	if staged, _ := l.QP.SQDepth(); staged != 0 {
+		c.err = fmt.Errorf("rednlite: lane SQ not empty (%d staged)", staged)
+	}
+	return c
+}
+
+// Err returns the first assembly error.
+func (c *Chain) Err() error { return c.err }
+
+// Len returns the number of staged entries.
+func (c *Chain) Len() int { return c.staged }
+
+func (c *Chain) wrid() uint64 {
+	w := c.nextWR
+	c.nextWR++
+	return w
+}
+
+func (c *Chain) note(err error) {
+	if c.err == nil && err != nil {
+		c.err = err
+	}
+	if err == nil {
+		c.staged++
+	}
+}
+
+// Write stages an RDMA Write.
+func (c *Chain) Write(data []byte, remote verbs.RemoteBuf, length int) *Chain {
+	if c.err != nil {
+		return c
+	}
+	c.note(c.lane.QP.StageWrite(c.wrid(), data, remote, length))
+	return c
+}
+
+// Read stages an RDMA Read into a host buffer (nil = timing-only).
+func (c *Chain) Read(local []byte, remote verbs.RemoteBuf, length int) *Chain {
+	if c.err != nil {
+		return c
+	}
+	c.note(c.lane.QP.StageRead(c.wrid(), local, remote, length))
+	return c
+}
+
+// ReadInto stages an RDMA Read landing inside a local registered MR — the
+// self-modification source when the target lies in a lane's code window.
+func (c *Chain) ReadInto(dst *verbs.MR, dstOff uint64, remote verbs.RemoteBuf, length int) *Chain {
+	if c.err != nil {
+		return c
+	}
+	c.note(c.lane.QP.StageReadInto(c.wrid(), dst, dstOff, remote, length))
+	return c
+}
+
+// CAS stages a compare-and-swap on the remote 8-byte word.
+func (c *Chain) CAS(remote verbs.RemoteBuf, compare, swap uint64) *Chain {
+	if c.err != nil {
+		return c
+	}
+	c.note(c.lane.QP.StageCAS(c.wrid(), remote, compare, swap))
+	return c
+}
+
+// Barrier stages a WAIT on the lane's own CQ whose threshold equals the
+// number of entries staged before it: the queue advances past the barrier
+// only after everything ahead of it has retired. Entries behind a barrier
+// cannot dispatch early — they sit behind it in the same SQ — so the
+// threshold being reached implies all prior entries completed.
+func (c *Chain) Barrier() *Chain {
+	if c.err != nil {
+		return c
+	}
+	c.note(c.lane.QP.StageWait(c.wrid(), c.lane.CQ, c.base+uint64(c.staged)))
+	return c
+}
+
+// Enable stages a cross-QP doorbell: when executed it enables k entries on
+// the target chain's lane (0 = everything staged there).
+func (c *Chain) Enable(target *Chain, k int) *Chain {
+	if c.err != nil {
+		return c
+	}
+	c.note(c.lane.QP.StageEnable(c.wrid(), target.lane.QP, k))
+	return c
+}
+
+// Loop unrolls body n times with a barrier after each iteration — the
+// bounded-loop construct (RedN's loops are bounded the same way: a chain
+// has no backward doorbell).
+func (c *Chain) Loop(n int, body func(*Chain)) *Chain {
+	for i := 0; i < n && c.err == nil; i++ {
+		body(c)
+		c.Barrier()
+	}
+	return c
+}
+
+// Branch is a chain guarded by a patchable WAIT gate, targeted by If().
+type Branch struct {
+	*Chain
+	gateSlot int
+}
+
+// NewBranch starts a branch chain on a lane with a code window: the first
+// staged entry is the gate, a WAIT on the lane's CQ whose threshold is
+// rewritten by the owning If(). Body ops are added behind the gate.
+func NewBranch(l *Lane) (*Branch, error) {
+	if l.Code == nil {
+		return nil, errors.New("rednlite: branch lane needs a code window (gate threshold is patched in place)")
+	}
+	c := New(l)
+	b := &Branch{Chain: c, gateSlot: c.staged}
+	if c.err == nil {
+		// Placeholder threshold: unreachable until patched. The gate is
+		// enabled only after the If() writes the real threshold, so the
+		// placeholder never arms.
+		c.note(l.QP.StageWait(c.wrid(), l.CQ, FalseFloor))
+	}
+	return b, c.err
+}
+
+// If stages a data-dependent branch: the 8-byte flag word at flag is
+// compared against expect entirely on the NIC, and branch's body runs only
+// on equality. Compiled shape:
+//
+//	CAS flag, expect, 0     ; taken: flag -> 0, not-taken: flag unchanged
+//	WAIT (barrier)
+//	READ flag -> branch gate's WaitThresh field
+//	WAIT (barrier)
+//	ENABLE branch, all
+//
+// Taken, the gate's threshold becomes 0 and the branch body runs;
+// not-taken, the flag (caller contract: >= FalseFloor when != expect)
+// becomes an unreachable threshold and the gate blocks forever — the body
+// never executes and the lane simply idles, exactly RedN's "the NIC parks
+// the untaken arm".
+func (c *Chain) If(flag verbs.RemoteBuf, expect uint64, branch *Branch) *Chain {
+	if c.err != nil {
+		return c
+	}
+	if branch.err != nil {
+		c.err = branch.err
+		return c
+	}
+	gateOff := uint64(branch.gateSlot)*nic.SQSlotBytes + nic.SQOffWaitThresh
+	c.CAS(flag, expect, 0)
+	c.Barrier()
+	c.ReadInto(branch.lane.Code, gateOff, flag, 8)
+	c.Barrier()
+	c.Enable(branch.Chain, 0)
+	return c
+}
+
+// Chase stages a remote pointer-chase: follow hops next-pointers starting
+// at head (each node: next address at +0, value at +8) and land the final
+// node's first 16 bytes (next+value) at dst+dstOff. Each hop reads the
+// current node's next pointer directly into the following read's
+// RemoteAddr field, then self-enables the next hop — the lane progressively
+// opens its own doorbell, so the slot being patched is always ahead of the
+// cursor. Chase must be the last construct on its lane, and Launch() will
+// enable only up to the first hop.
+func (c *Chain) Chase(head verbs.RemoteBuf, hops int, dst *verbs.MR, dstOff uint64) *Chain {
+	if c.err != nil {
+		return c
+	}
+	if c.lane.Code == nil {
+		c.err = errors.New("rednlite: chase lane needs a code window")
+		return c
+	}
+	if hops < 1 {
+		c.err = errors.New("rednlite: chase needs at least one hop")
+		return c
+	}
+	c.ring = c.staged + 3 // Launch opens the first hop's triple only
+	cur := head
+	for i := 0; i < hops; i++ {
+		// The next unit starts 3 slots ahead (read, barrier, enable); its
+		// RemoteAddr field is this hop's landing target.
+		nextSlot := c.staged + 3
+		patchOff := uint64(nextSlot)*nic.SQSlotBytes + nic.SQOffRemoteAddr
+		c.ReadInto(c.lane.Code, patchOff, cur, 8)
+		c.Barrier()
+		// Self-enable: open the next unit now that its address is patched.
+		k := 3
+		if i == hops-1 {
+			k = 1 // final unit is the value read alone
+		}
+		if c.err == nil {
+			c.note(c.lane.QP.StageEnable(c.wrid(), c.lane.QP, k))
+		}
+		// Subsequent hops read from the patched address; the staged
+		// placeholder keeps the head's rkey and a valid in-MR address.
+		cur = head
+	}
+	c.ReadInto(dst, dstOff, head, 16)
+	return c
+}
+
+// Launch rings the doorbell over the chain's enable prefix (everything
+// staged, unless a Chase bounded it) and returns any assembly error. The
+// host's involvement ends here; the chain sequences itself.
+func (c *Chain) Launch() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.lane.QP.Ring(c.ring)
+}

@@ -52,6 +52,13 @@ type Snapshot struct {
 	// zero everywhere else).
 	EncOps   uint64 // messages that paid the AES latency
 	EncBytes uint64 // payload bytes enciphered
+
+	// RedN offload observables (chain workloads only; structurally zero
+	// everywhere else).
+	WaitWQEs     uint64 // WAIT management WQEs executed
+	EnableWQEs   uint64 // ENABLE management WQEs executed
+	WaitWakes    uint64 // armed WAITs woken by a CQ-counter bump
+	SelfModifies uint64 // staged WQEs rewritten through an SQ window
 }
 
 // Snap reads the current counter state of a NIC.
@@ -85,6 +92,10 @@ func Snap(eng *sim.Engine, n *nic.NIC) Snapshot {
 	s.CQOverruns = c.CQOverruns
 	s.EncOps = c.EncOps
 	s.EncBytes = c.EncBytes
+	s.WaitWQEs = c.WaitWQEs
+	s.EnableWQEs = c.EnableWQEs
+	s.WaitWakes = c.WaitWakes
+	s.SelfModifies = c.SelfModifies
 	for k, v := range c.RxMsgs {
 		s.PerOpcode[k] = v
 	}
@@ -124,6 +135,10 @@ func Delta(prev, cur Snapshot) Snapshot {
 	d.CQOverruns = cur.CQOverruns - prev.CQOverruns
 	d.EncOps = cur.EncOps - prev.EncOps
 	d.EncBytes = cur.EncBytes - prev.EncBytes
+	d.WaitWQEs = cur.WaitWQEs - prev.WaitWQEs
+	d.EnableWQEs = cur.EnableWQEs - prev.EnableWQEs
+	d.WaitWakes = cur.WaitWakes - prev.WaitWakes
+	d.SelfModifies = cur.SelfModifies - prev.SelfModifies
 	for i := range cur.PerTC {
 		d.PerTC[i] = cur.PerTC[i] - prev.PerTC[i]
 		d.PFCPauses[i] = cur.PFCPauses[i] - prev.PFCPauses[i]

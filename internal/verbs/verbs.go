@@ -168,6 +168,10 @@ type CQ struct {
 	entries  []nic.Completion
 	cap      int
 	overruns uint64
+	// cnt is the CQ's consumer index: the NIC bumps it on every completion
+	// delivered to a QP bound to this CQ, and WAIT WQEs block on it — the
+	// cross-QP coupling point of the RedN chain model.
+	cnt *nic.CQCounter
 	// Notify, when set, is an armed consumer: every completion is handed
 	// to it directly instead of queueing — the simulation analogue of a
 	// completion-channel handler that always keeps up, letting measurement
@@ -186,8 +190,12 @@ func (c *Context) CreateCQ(capacity int) *CQ {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &CQ{ctx: c, cap: capacity}
+	return &CQ{ctx: c, cap: capacity, cnt: nic.NewCQCounter()}
 }
+
+// ConsumerIndex returns the number of completions delivered on this CQ so
+// far — the counter WAIT WQEs compare their threshold against.
+func (q *CQ) ConsumerIndex() uint64 { return q.cnt.Count() }
 
 func (q *CQ) push(comp nic.Completion) {
 	q.ctx.rec.Emit(trace.Event{At: int64(comp.DoneTime), Kind: trace.KindWQESpan,
@@ -208,7 +216,8 @@ func (q *CQ) push(comp nic.Completion) {
 // Overruns reports completions dropped because the CQ was full.
 func (q *CQ) Overruns() uint64 { return q.overruns }
 
-// Poll removes and returns up to n completions.
+// Poll removes and returns up to n completions. It allocates a fresh slice
+// per call; hot measurement loops use PollInto instead.
 func (q *CQ) Poll(n int) []nic.Completion {
 	if n > len(q.entries) {
 		n = len(q.entries)
@@ -216,6 +225,20 @@ func (q *CQ) Poll(n int) []nic.Completion {
 	out := append([]nic.Completion(nil), q.entries[:n]...)
 	q.entries = q.entries[n:]
 	return out
+}
+
+// PollInto drains up to len(dst) completions into dst and returns how many
+// were copied. The remaining entries are shifted down in place, so a
+// steady-state poll loop never allocates (benchmark-guarded at 0 allocs/op
+// by BenchmarkCQPollInto).
+func (q *CQ) PollInto(dst []nic.Completion) int {
+	n := copy(dst, q.entries)
+	if n == 0 {
+		return 0
+	}
+	rem := copy(q.entries, q.entries[n:])
+	q.entries = q.entries[:rem]
+	return n
 }
 
 // Len reports queued completions.
@@ -262,6 +285,11 @@ func (c *Context) CreateQP(pd *PD, sendCQ *CQ, caps QPCap) (*QP, error) {
 			}
 		})
 	if err != nil {
+		return nil, err
+	}
+	// Bind the send CQ's consumer index so cross-QP WAITs can observe this
+	// QP's completions.
+	if err := c.dev.BindQPCounter(qp.qpn, sendCQ.cnt); err != nil {
 		return nil, err
 	}
 	return qp, nil
@@ -352,11 +380,151 @@ func (qp *QP) PostRecv(buf []byte) error {
 	return qp.ctx.dev.PostRecv(qp.qpn, buf)
 }
 
+// --- Staged posting: the post ≠ enable half of the send-queue state
+// machine. Stage* appends a WQE to the SQ ring without ringing the
+// doorbell; Ring enables staged entries; PostWait/PostEnable stage and ring
+// the RedN management verbs in one step. Staged-but-unenabled entries are
+// rewritable through an ExposeSQ window (WQE self-modification). ---
+
+// stage validates a WQE and appends it to the send queue without enabling
+// it. Every staged entry eventually retires with exactly one CQE (once
+// enabled), so it occupies a MaxSendWR slot from staging on.
+func (qp *QP) stage(wqe *nic.WQE) error {
+	if qp.inFlight >= qp.caps.MaxSendWR {
+		return ErrSQFull
+	}
+	wqe.TC = qp.tc
+	if err := qp.ctx.dev.StageSend(qp.qpn, wqe); err != nil {
+		return err
+	}
+	qp.ctx.rec.Emit(trace.Event{At: int64(qp.ctx.eng.Now()), Kind: trace.KindWQEPost,
+		Actor: qp.ctx.recActor, QPN: qp.qpn, Val: wqe.WRID, TC: int8(qp.tc)})
+	qp.inFlight++
+	return nil
+}
+
+// Ring advances the QP's doorbell over k staged entries (k <= 0 enables
+// everything staged).
+func (qp *QP) Ring(k int) error {
+	return qp.ctx.dev.RingDoorbell(qp.qpn, k)
+}
+
+// StageWrite stages an RDMA Write without enabling it.
+func (qp *QP) StageWrite(wrid uint64, data []byte, remote RemoteBuf, length int) error {
+	if qp.peer == nil {
+		return errors.New("verbs: QP not connected")
+	}
+	return qp.stage(&nic.WQE{
+		WRID: wrid, Op: nic.OpWrite, LocalData: data,
+		RemoteKey: remote.RKey, RemoteAddr: remote.Addr, Length: length,
+	})
+}
+
+// StageRead stages an RDMA Read without enabling it.
+func (qp *QP) StageRead(wrid uint64, local []byte, remote RemoteBuf, length int) error {
+	if qp.peer == nil {
+		return errors.New("verbs: QP not connected")
+	}
+	return qp.stage(&nic.WQE{
+		WRID: wrid, Op: nic.OpRead, LocalData: local,
+		RemoteKey: remote.RKey, RemoteAddr: remote.Addr, Length: length,
+	})
+}
+
+// StageReadInto stages an RDMA Read whose payload lands inside a local
+// registered MR at localOff — the self-modification source: when the target
+// range lies in an ExposeSQ window, the landing rewrites the staged WQEs it
+// covers before their doorbell.
+func (qp *QP) StageReadInto(wrid uint64, local *MR, localOff uint64, remote RemoteBuf, length int) error {
+	if qp.peer == nil {
+		return errors.New("verbs: QP not connected")
+	}
+	return qp.stage(&nic.WQE{
+		WRID: wrid, Op: nic.OpRead,
+		RemoteKey: remote.RKey, RemoteAddr: remote.Addr, Length: length,
+		LocalKey: local.lkey, LocalAddr: local.Base() + localOff,
+	})
+}
+
+// PostReadInto posts (stage + ring) an RDMA Read landing inside a local MR.
+func (qp *QP) PostReadInto(wrid uint64, local *MR, localOff uint64, remote RemoteBuf, length int) error {
+	if err := qp.StageReadInto(wrid, local, localOff, remote, length); err != nil {
+		return err
+	}
+	return qp.Ring(1)
+}
+
+// StageCAS stages a compare-and-swap without enabling it.
+func (qp *QP) StageCAS(wrid uint64, remote RemoteBuf, compare, swap uint64) error {
+	if qp.peer == nil {
+		return errors.New("verbs: QP not connected")
+	}
+	return qp.stage(&nic.WQE{
+		WRID: wrid, Op: nic.OpAtomicCAS,
+		RemoteKey: remote.RKey, RemoteAddr: remote.Addr, Length: 8,
+		CompareAdd: compare, Swap: swap,
+	})
+}
+
+// StageWait stages a WAIT: the send queue blocks at this entry until cq's
+// consumer index reaches thresh. The CQ must live on the same NIC (real
+// WAIT WRs are same-device cross-queue).
+func (qp *QP) StageWait(wrid uint64, cq *CQ, thresh uint64) error {
+	if cq.ctx.dev != qp.ctx.dev {
+		return errors.New("verbs: WAIT requires a CQ on the same NIC")
+	}
+	return qp.stage(&nic.WQE{WRID: wrid, Op: nic.OpWait, WaitCQ: cq.cnt, WaitThresh: thresh})
+}
+
+// StageEnable stages an ENABLE: when executed it advances target's doorbell
+// by k entries (0 = everything staged there). Same-NIC only.
+func (qp *QP) StageEnable(wrid uint64, target *QP, k int) error {
+	if target.ctx.dev != qp.ctx.dev {
+		return errors.New("verbs: ENABLE requires a target QP on the same NIC")
+	}
+	return qp.stage(&nic.WQE{WRID: wrid, Op: nic.OpEnable, TargetQPN: target.qpn, EnableCount: k})
+}
+
+// PostWait stages and immediately enables a WAIT WQE.
+func (qp *QP) PostWait(wrid uint64, cq *CQ, thresh uint64) error {
+	if err := qp.StageWait(wrid, cq, thresh); err != nil {
+		return err
+	}
+	return qp.Ring(1)
+}
+
+// PostEnable stages and immediately enables an ENABLE WQE.
+func (qp *QP) PostEnable(wrid uint64, target *QP, k int) error {
+	if err := qp.StageEnable(wrid, target, k); err != nil {
+		return err
+	}
+	return qp.Ring(1)
+}
+
+// ExposeSQ registers mr as a self-modification window over this QP's send
+// queue: slot i of the window (64 bytes each) shadows staged entry i, and
+// RDMA writes (or PostReadInto landings) covering a slot rewrite the
+// corresponding not-yet-enabled WQE's fields.
+func (qp *QP) ExposeSQ(mr *MR) error {
+	slots := int(mr.Size() / nic.SQSlotBytes)
+	return qp.ctx.dev.RegisterSQWindow(qp.qpn, mr.rkey, mr.Base(), slots)
+}
+
+// SQDepth reports the QP's staged and enabled entry counts.
+func (qp *QP) SQDepth() (staged, enabled int) {
+	return qp.ctx.dev.SQDepth(qp.qpn)
+}
+
 // Destroy tears the QP down on its NIC: the retransmit timer is cancelled,
 // outstanding WQEs are dropped without completions, and the QPN is freed.
 // Mirrors ibv_destroy_qp — responses still in flight for the old QPN are
-// silently discarded on arrival.
+// silently discarded on arrival. Both sides of the connection are unwired:
+// leaving the peer's pointer at a destroyed QP would let a later Connect on
+// the peer silently resurrect it.
 func (qp *QP) Destroy() error {
+	if p := qp.peer; p != nil && p.peer == qp {
+		p.peer = nil
+	}
 	qp.peer = nil
 	return qp.ctx.dev.DestroyQP(qp.qpn)
 }
@@ -471,13 +639,22 @@ func (n *Network) ConnectSwitches(a, b *fabric.Switch, rateGbps float64, qos fab
 }
 
 // Connect establishes a reliable connection between two QPs whose contexts
-// are already wired.
+// are already wired. Reconnecting a QP detaches its previous peer cleanly:
+// the old peer's dangling pointer is cleared (it would otherwise still
+// believe itself connected and post into a connection that no longer
+// exists on the other side).
 func Connect(a, b *QP) error {
 	if err := a.ctx.dev.ConnectQP(a.qpn, b.ctx.dev, b.qpn); err != nil {
 		return err
 	}
 	if err := b.ctx.dev.ConnectQP(b.qpn, a.ctx.dev, a.qpn); err != nil {
 		return err
+	}
+	if old := a.peer; old != nil && old != b && old.peer == a {
+		old.peer = nil
+	}
+	if old := b.peer; old != nil && old != a && old.peer == b {
+		old.peer = nil
 	}
 	a.peer, b.peer = b, a
 	return nil

@@ -18,7 +18,7 @@ trap 'rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/ragnar" ./cmd/ragnar
 
-exps="fig4 fig5 fig6 fig8 table5 lossgrid tenants exhaust nvmf clos defgrid"
+exps="fig4 fig5 fig6 fig8 table5 lossgrid tenants exhaust nvmf clos defgrid redn"
 
 # The only line that may legitimately vary across -domains is the rendered
 # domain count itself.
